@@ -1,0 +1,34 @@
+"""Figure 10(a): quality of solution vs number of QAOA layers.
+
+Paper claim: noiseless quality improves monotonically with p; on hardware the
+baseline peaks at a small p and degrades, while HAMMER lifts every point and
+shifts the peak to a deeper p, reclaiming some of QAOA's algorithmic benefit.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import LayersStudyConfig, run_layers_study
+
+
+def test_fig10a_layers_study(benchmark):
+    config = LayersStudyConfig(node_values=(10, 12), layer_values=(1, 2, 3, 4, 5), shots=8192)
+    report = run_once(benchmark, run_layers_study, config)
+    print()
+    print(report.to_text())
+
+    noiseless = [row["noiseless_cr"] for row in report.rows]
+    baseline = [row["baseline_cr"] for row in report.rows]
+    hammer_series = [row["hammer_cr"] for row in report.rows]
+
+    # Noiseless quality improves monotonically with depth.
+    assert noiseless == sorted(noiseless)
+    # Noise costs quality at every depth.
+    assert all(b < n for b, n in zip(baseline, noiseless))
+    # HAMMER improves on the baseline on average and does not peak earlier.
+    assert report.summary["mean_hammer_gain"] > 0
+    assert report.summary["hammer_best_p"] >= report.summary["baseline_best_p"]
+    # The baseline's advantage of adding layers saturates: its best p is below the deepest run.
+    assert report.summary["baseline_best_p"] <= max(config.layer_values)
+    assert max(hammer_series) > max(baseline)

@@ -1,0 +1,29 @@
+"""Figure 11: EHD vs entanglement entropy and vs fidelity (Section 7).
+
+Paper claim: the Hamming structure survives increasing entanglement (only a
+weak Spearman correlation between entanglement entropy and EHD, ~0.2) but
+erodes with decreasing fidelity (EHD rises as fidelity drops).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import EntanglementStudyConfig, run_entanglement_study
+
+
+@pytest.mark.parametrize("depth_class", ["low", "high"])
+def test_fig11_entanglement_study(benchmark, depth_class):
+    config = EntanglementStudyConfig(num_qubits=8, num_circuits=10, shots=4096)
+    report = run_once(benchmark, run_entanglement_study, config, depth_class=depth_class)
+    print()
+    for key, value in report.summary.items():
+        print(f"{key}: {value:.4f}")
+
+    # Hamming structure persists: EHD stays below the uniform-error model.
+    assert report.summary["fraction_below_uniform"] >= 0.8
+    # Entanglement is only weakly correlated with EHD.
+    assert abs(report.summary["spearman_ehd_vs_entropy"]) < 0.85
+    # Fidelity and EHD are anti-correlated: noisier circuits scatter further.
+    assert report.summary["spearman_ehd_vs_fidelity"] < 0.2

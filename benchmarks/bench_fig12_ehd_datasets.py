@@ -1,0 +1,27 @@
+"""Figure 12: EHD vs circuit width across the IBM and Google workloads.
+
+Paper claim: EHD grows with circuit width for every workload but stays below
+the uniform-error n/2 line, and BV loses Hamming structure faster than QAOA
+because its depth grows super-linearly.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import EhdStudyConfig, run_ehd_dataset_comparison
+
+
+def test_fig12_ehd_across_datasets(benchmark):
+    config = EhdStudyConfig(qubit_values=(6, 8, 10, 12), shots=4096)
+    report = run_once(benchmark, run_ehd_dataset_comparison, config)
+    print()
+    print(report.to_text())
+
+    # The overwhelming majority of circuits keep EHD below the uniform model.
+    assert report.summary["fraction_below_uniform"] > 0.9
+    # EHD grows with width for the BV workload.
+    bv_rows = [row for row in report.rows if row["workload"] == "bv"]
+    assert bv_rows[-1]["ehd"] > bv_rows[0]["ehd"]
+    # BV loses structure faster than QAOA p=2 (steeper EHD slope).
+    assert report.summary["bv_ehd_slope"] > report.summary["qaoa_p2_ehd_slope"]

@@ -1,0 +1,26 @@
+"""Figure 1(a): output histogram of a small Bernstein-Vazirani circuit.
+
+Paper claim: on hardware the error-free output of a 4-qubit BV circuit
+appears with only ~40% probability, and the most frequent erroneous outcomes
+sit close to it in Hamming space.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_bv_histogram_example
+
+
+def test_fig1a_bv_histogram(benchmark):
+    report = run_once(benchmark, run_bv_histogram_example, num_qubits=4)
+    print()
+    print(report.to_text())
+
+    correct_probability = report.summary["correct_probability"]
+    assert 0.15 < correct_probability < 0.95, "correct outcome should be noisy but present"
+    # Erroneous outcomes cluster near the key: most mass within Hamming distance 2.
+    assert report.summary["mass_within_distance_2"] > 0.75
+    # The top erroneous outcomes are close in Hamming space.
+    error_rows = [row for row in report.rows if not row["is_correct"]][:3]
+    assert all(row["hamming_distance"] <= 2 for row in error_rows)

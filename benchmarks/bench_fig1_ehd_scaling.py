@@ -1,0 +1,23 @@
+"""Figure 1(b): Expected Hamming Distance vs circuit width for QAOA p=2.
+
+Paper claim: EHD grows with the number of qubits but stays well below the
+uniform-error model's n/2.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import EhdStudyConfig, run_ehd_scaling
+
+
+def test_fig1b_ehd_scaling(benchmark):
+    config = EhdStudyConfig(qubit_values=(6, 8, 10, 12), shots=4096)
+    report = run_once(benchmark, run_ehd_scaling, "qaoa-p2", config=config)
+    print()
+    print(report.to_text())
+
+    assert report.summary["fraction_below_uniform"] == 1.0
+    ehds = [row["ehd"] for row in report.rows]
+    assert ehds[-1] > ehds[0], "EHD should grow with circuit width"
+    assert all(row["ehd"] < row["uniform_ehd"] for row in report.rows)

@@ -1,0 +1,43 @@
+"""Figure 2(b)/(d): impact of hardware noise on BV and QAOA outputs.
+
+Paper claim: noise turns the single-spike BV output into a spread histogram,
+and drags the QAOA expected cost far away from the noise-free value
+(E = 3.75 ideal vs -0.42 measured in the paper's example).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_noise_impact_example
+from repro.metrics import probability_of_successful_trial
+
+
+def test_fig2d_qaoa_expected_cost_degradation(benchmark):
+    report = run_once(benchmark, run_noise_impact_example, num_qubits=9)
+    print()
+    print(report.to_text())
+
+    ideal_cost = report.summary["ideal_expected_cost"]
+    noisy_cost = report.summary["noisy_expected_cost"]
+    # Costs are minimised (more negative = better): noise makes the expectation worse.
+    assert noisy_cost > ideal_cost
+    assert report.summary["cost_degradation"] > 0.05
+
+
+def test_fig2b_bv_output_spread(benchmark):
+    from repro.circuits import bernstein_vazirani
+    from repro.quantum import NoisySampler, ibm_paris
+
+    device = ibm_paris()
+
+    def run():
+        sampler = NoisySampler(device.noise_model.scaled(2.0), shots=8192, seed=2)
+        return sampler.run(bernstein_vazirani("111"))
+
+    noisy = benchmark.pedantic(run, rounds=1, iterations=1)
+    pst = probability_of_successful_trial(noisy, "111")
+    print(f"\nBV-3 noisy PST = {pst:.3f}, support = {noisy.num_outcomes}")
+    assert noisy.num_outcomes > 1, "noise must produce erroneous outcomes"
+    assert pst < 1.0
+    assert noisy.most_probable() == "111"

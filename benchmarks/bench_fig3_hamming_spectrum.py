@@ -1,0 +1,37 @@
+"""Figure 3(b)/(c): Hamming spectrum of BV-8 and QAOA-8 circuits.
+
+Paper claim: erroneous outcomes with high probability sit in the low Hamming
+bins; bins far from the correct answer carry less probability per outcome
+than the uniform-error model.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import run_hamming_spectrum
+
+
+@pytest.mark.parametrize("workload", ["bv", "qaoa"])
+def test_fig3_hamming_spectrum(benchmark, workload):
+    from repro.quantum import ibm_paris
+
+    report = run_once(benchmark, run_hamming_spectrum, workload, num_qubits=8, device=ibm_paris())
+    print()
+    print(report.to_text())
+
+    bins = {row["hamming_bin"]: row["bin_probability"] for row in report.rows}
+    assert sum(bins.values()) == pytest.approx(1.0, abs=1e-6)
+    # Most of the probability mass sits within three bit flips of the correct set —
+    # far more than the uniform-error model would place there (0.363 for n=8).
+    assert report.summary["mass_within_distance_3"] > 0.45
+    # Low bins dominate high bins.
+    low_mass = sum(bins[d] for d in (0, 1, 2, 3))
+    high_mass = sum(probability for distance, probability in bins.items() if distance >= 5)
+    assert low_mass > high_mass
+    # Average per-outcome probability in bin 1 beats the distant bins.
+    averages = {row["hamming_bin"]: row["bin_average_probability"] for row in report.rows}
+    distant = [averages[d] for d in range(5, 9) if averages.get(d, 0.0) > 0]
+    if distant:
+        assert averages[1] >= max(distant)

@@ -1,0 +1,29 @@
+"""Figure 5: cost of cuts at Hamming distance one / two from the optimum.
+
+Paper claim: solutions one bit flip away from a desired cut are ~2x worse and
+two flips away can be up to ~10x worse, so even Hamming-close errors hurt the
+QAOA expectation value.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import LandscapeStudyConfig, run_neighbor_cost_study
+
+
+def test_fig5_neighbor_costs(benchmark):
+    report = run_once(benchmark, run_neighbor_cost_study, LandscapeStudyConfig(num_nodes=10))
+    print()
+    summary = report.summary
+    print({key: round(value, 3) for key, value in summary.items()})
+
+    minimum_cost = summary["minimum_cost"]
+    assert minimum_cost < 0
+    # Every neighbouring cut is worse than the optimum.
+    assert summary["mean_cost_distance_1"] > minimum_cost
+    assert summary["mean_cost_distance_2"] > summary["mean_cost_distance_1"]
+    # Degradation at distance 2 is substantially larger than at distance 1.
+    assert summary["mean_degradation_distance_2"] > 1.5 * summary["mean_degradation_distance_1"]
+    # And the worst distance-2 cut is far worse than the optimum (paper: up to ~10x).
+    assert summary["worst_cost_distance_2"] > 0.5 * abs(minimum_cost) + minimum_cost

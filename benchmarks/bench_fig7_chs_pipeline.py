@@ -1,0 +1,47 @@
+"""Figure 7: CHS vectors, inverse-CHS weights and neighbourhood scores (BV-10).
+
+Paper claim: the correct outcome's CHS peaks at low Hamming bins while the
+average outcome's peaks near n/2; inverting the average CHS and combining it
+with each outcome's CHS closes the probability gap between the correct
+outcome and the strongest incorrect one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_chs_pipeline
+
+
+def test_fig7_chs_weights_scores(benchmark):
+    report = run_once(benchmark, run_chs_pipeline, num_qubits=10)
+    print()
+    print(report.to_text())
+
+    weights = [row["weight"] for row in report.rows]
+    average_chs = [row["average_chs"] for row in report.rows]
+    correct_chs = [row["correct_chs"] for row in report.rows]
+
+    # Weights are zero at and beyond the n/2 cutoff, non-zero below it.
+    cutoff = (10 + 1) // 2
+    assert all(w == 0.0 for w in weights[cutoff:])
+    assert any(w > 0.0 for w in weights[:cutoff])
+    # The correct outcome's CHS is relatively concentrated at low distances:
+    # its share of mass within two bit flips beats the average outcome's share.
+    relative_low_correct = sum(correct_chs[:3]) / max(sum(correct_chs), 1e-12)
+    relative_low_average = sum(average_chs[:3]) / max(sum(average_chs), 1e-12)
+    assert relative_low_correct > relative_low_average
+    # The average CHS puts most mass at larger distances than the correct outcome's CHS.
+    mean_distance_correct = np.average(range(len(correct_chs)), weights=np.array(correct_chs) + 1e-12)
+    mean_distance_average = np.average(range(len(average_chs)), weights=np.array(average_chs) + 1e-12)
+    assert mean_distance_average > mean_distance_correct
+
+    # HAMMER closes the gap between the correct and the strongest incorrect outcome.
+    baseline_gap = report.summary["baseline_correct_probability"] / max(
+        report.summary["baseline_top_incorrect_probability"], 1e-12
+    )
+    hammer_gap = report.summary["hammer_correct_probability"] / max(
+        report.summary["hammer_top_incorrect_probability"], 1e-12
+    )
+    assert hammer_gap > baseline_gap

@@ -1,0 +1,43 @@
+"""Figure 8: PST / IST improvement of HAMMER on Bernstein-Vazirani circuits.
+
+Paper claim: over 250 BV circuits (5-16 qubits, three IBM machines) HAMMER
+improves PST by 1.38x (gmean, up to 2x) and IST by 1.74x (gmean, up to 5x).
+The simulated sweep should show the same direction: consistent gains that
+grow with circuit size.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import BvStudyConfig, run_bv_single_example, run_bv_study
+
+
+def test_fig8a_bv10_example(benchmark):
+    report = run_once(benchmark, run_bv_single_example, num_qubits=10)
+    print()
+    print(report.to_text())
+
+    assert report.summary["hammer_pst"] > report.summary["baseline_pst"]
+    assert report.summary["hammer_ist"] > report.summary["baseline_ist"]
+
+
+def test_fig8b_bv_sweep(benchmark):
+    config = BvStudyConfig(qubit_range=(5, 11), keys_per_size=2, shots=8192)
+    report = run_once(benchmark, run_bv_study, config)
+    print()
+    for key in ("num_circuits", "gmean_pst_improvement", "gmean_ist_improvement",
+                "max_pst_improvement", "max_ist_improvement"):
+        print(f"{key}: {report.summary[key]:.3f}")
+
+    # Direction and rough magnitude of the paper's result.
+    assert report.summary["gmean_pst_improvement"] > 1.1
+    assert report.summary["gmean_ist_improvement"] > 1.1
+    assert report.summary["max_pst_improvement"] > report.summary["gmean_pst_improvement"]
+    # HAMMER should help (or at least not hurt) the vast majority of circuits.
+    improved = sum(1 for row in report.rows if row["pst_improvement"] >= 1.0)
+    assert improved / len(report.rows) > 0.9
+    # Gains grow with circuit size (wider circuits are noisier).
+    small = [row["pst_improvement"] for row in report.rows if row["num_qubits"] <= 7]
+    large = [row["pst_improvement"] for row in report.rows if row["num_qubits"] >= 10]
+    assert sum(large) / len(large) > sum(small) / len(small)

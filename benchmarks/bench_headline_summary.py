@@ -1,0 +1,29 @@
+"""Headline result: average quality-of-solution improvement across the suites.
+
+Paper claim (abstract): HAMMER improves the quality of solution by 1.37x on
+average over more than 500 circuits from IBM and Google machines, and the
+improvement is consistent (almost every circuit benefits).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_headline_summary
+
+
+def test_headline_quality_improvement(benchmark, ibm_suite_small, google_records_small):
+    records = ibm_suite_small + google_records_small
+    report = run_once(benchmark, run_headline_summary, records=records)
+    print()
+    for key, value in report.summary.items():
+        print(f"{key}: {value:.3f}")
+
+    assert report.summary["num_circuits"] == len(records)
+    # Average improvement comfortably above 1x (paper: 1.37x).
+    assert report.summary["gmean_quality_improvement"] > 1.2
+    # The improvement is consistent across the suite, not driven by a few outliers.
+    assert report.summary["fraction_improved"] > 0.85
+    # Both workload classes benefit.
+    assert report.summary["gmean_improvement_bv"] > 1.0
+    assert report.summary["gmean_improvement_qaoa"] > 1.0

@@ -1,0 +1,31 @@
+"""Table 1: composition of the (synthetic) Google Sycamore QAOA dataset.
+
+The paper's dataset covers hardware-grid max-cut instances (6-20 qubits,
+p=1..5) and 3-regular instances (4-16 qubits, p=1..3).  The bench checks the
+generator reproduces that composition (at reduced instance counts) and that
+every record carries a readout-corrected baseline histogram.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.datasets import table1_summaries
+from repro.experiments import format_table
+
+
+def test_table1_composition(benchmark, google_records_small):
+    summaries = run_once(benchmark, table1_summaries, google_records_small)
+    print()
+    print(format_table([summary.as_row() for summary in summaries]))
+
+    by_family = {summary.benchmark: summary for summary in summaries}
+    assert "Maxcut on Grid" in by_family
+    assert "Maxcut on 3-Reg Graphs" in by_family
+    grid = by_family["Maxcut on Grid"]
+    regular = by_family["Maxcut on 3-Reg Graphs"]
+    assert grid.qubit_range[0] >= 6
+    assert regular.qubit_range[0] >= 4
+    assert grid.layer_range is not None and grid.layer_range[0] == 1
+    assert sum(summary.num_circuits for summary in summaries) == len(google_records_small)
+    assert all(record.metadata["readout_corrected"] for record in google_records_small)

@@ -1,0 +1,34 @@
+"""Table 2: composition of the (synthetic) IBM benchmark suite.
+
+The paper's IBM suite combines BV circuits (5-15 qubits) with QAOA max-cut on
+3-regular and random graphs (5-20 qubits, p=2/4) across three machines.  The
+bench checks the generator reproduces the three workload rows and that the
+records are scored with the right figures of merit.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.datasets import table2_summaries
+from repro.experiments import format_table
+
+
+def test_table2_composition(benchmark, ibm_suite_small):
+    summaries = run_once(benchmark, table2_summaries, ibm_suite_small)
+    print()
+    print(format_table([summary.as_row() for summary in summaries]))
+
+    names = {(summary.name, summary.benchmark) for summary in summaries}
+    assert ("BV", "Bernstein-Vazirani") in names
+    assert any("3-Reg" in benchmark for _, benchmark in names)
+    assert any("Rand" in benchmark for _, benchmark in names)
+
+    bv_summary = next(summary for summary in summaries if summary.name == "BV")
+    assert set(bv_summary.figure_of_merit) == {"IST", "PST"}
+    qaoa_summaries = [summary for summary in summaries if summary.name == "QAOA"]
+    assert all("CR" in summary.figure_of_merit for summary in qaoa_summaries)
+
+    assert sum(summary.num_circuits for summary in summaries) == len(ibm_suite_small)
+    devices = {record.device for record in ibm_suite_small}
+    assert devices == {"ibm-paris", "ibm-manhattan", "ibm-toronto"}

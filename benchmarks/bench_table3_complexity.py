@@ -1,0 +1,54 @@
+"""Table 3 / Section 6.6: computational complexity of HAMMER.
+
+Paper claim: HAMMER needs O(N^2) operations in the number of unique outcomes
+(about 1 billion for 32K unique outcomes, 64 billion for 256K) independent of
+the qubit count, and the measured runtime scales quadratically.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.core import hammer
+from repro.experiments import (
+    ComplexityStudyConfig,
+    analytic_operation_count,
+    run_operation_count_table,
+    run_runtime_scaling,
+    synthetic_histogram,
+)
+
+
+def test_table3_operation_counts(benchmark):
+    report = run_once(benchmark, run_operation_count_table)
+    print()
+    print(report.to_text())
+
+    by_key = {(row["trials"], row["unique_fraction"]): row["operations_billion"] for row in report.rows}
+    # Same order of magnitude as the paper's Table 3 (1B / 64B at full uniqueness).
+    assert 1.0 <= by_key[(32_000, 1.0)] <= 3.0
+    assert 64.0 <= by_key[(256_000, 1.0)] <= 140.0
+    # Quadratic scaling: 8x the trials -> 64x the operations.
+    assert by_key[(256_000, 1.0)] / by_key[(32_000, 1.0)] == pytest.approx(64.0, rel=0.05)
+    # Counts are independent of qubit count by construction.
+    assert analytic_operation_count(32_000) == analytic_operation_count(32_000)
+
+
+def test_table3_runtime_scaling(benchmark):
+    config = ComplexityStudyConfig(support_sizes=(500, 1000, 2000), num_bits=24)
+    report = run_once(benchmark, run_runtime_scaling, config)
+    print()
+    print(report.to_text())
+
+    assert report.summary["empirical_scaling_exponent"] > 1.0
+    assert report.summary["max_runtime_seconds"] < 60.0
+
+
+def test_hammer_kernel_throughput(benchmark):
+    """Timing of the HAMMER kernel itself on a 2000-outcome histogram."""
+    import numpy as np
+
+    distribution = synthetic_histogram(2000, 24, np.random.default_rng(3))
+    result = benchmark(hammer, distribution)
+    assert result.num_outcomes == distribution.num_outcomes

@@ -1,0 +1,14 @@
+"""Make the package importable from a fresh checkout (no install needed).
+
+The test and benchmark suites import ``repro`` directly; inserting ``src/``
+at the front of ``sys.path`` lets ``pytest`` run even when the package has
+not been pip-installed (e.g. offline environments without the ``wheel``
+package).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

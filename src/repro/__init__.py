@@ -1,0 +1,56 @@
+"""HAMMER reproduction: boosting fidelity of noisy quantum circuits.
+
+This package reproduces "HAMMER: Boosting Fidelity of Noisy Quantum Circuits
+by Exploiting Hamming Behavior of Erroneous Outcomes" (ASPLOS 2022).  The
+top-level namespace re-exports the handful of objects most users need:
+
+>>> from repro import Distribution, hammer
+>>> noisy = Distribution({"111": 20, "000": 25, "011": 15, "101": 15, "110": 15, "001": 10})
+>>> noisy.most_probable()      # the isolated wrong answer dominates the raw histogram
+'000'
+>>> hammer(noisy).most_probable()   # HAMMER recovers the Hamming-clustered correct answer
+'111'
+
+Subpackages
+-----------
+``repro.core``
+    The HAMMER algorithm, distributions and Hamming-space analysis.
+``repro.quantum``
+    The quantum-circuit + noise simulation substrate.
+``repro.circuits`` / ``repro.maxcut``
+    Benchmark workloads (BV, GHZ, QAOA max-cut, random identity).
+``repro.metrics``
+    PST, IST, TVD, Cost Ratio, EHD and related figures of merit.
+``repro.baselines`` / ``repro.datasets`` / ``repro.experiments``
+    Baseline post-processing, synthetic dataset emulators and per-figure
+    experiment drivers.
+"""
+
+from repro.core import (
+    Distribution,
+    HammerConfig,
+    HammerResult,
+    PostProcessingPipeline,
+    expected_hamming_distance,
+    hammer,
+    hammer_reference,
+    hamming_spectrum,
+    neighborhood_scores,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Distribution",
+    "HammerConfig",
+    "HammerResult",
+    "PostProcessingPipeline",
+    "ReproError",
+    "expected_hamming_distance",
+    "hammer",
+    "hammer_reference",
+    "hamming_spectrum",
+    "neighborhood_scores",
+    "__version__",
+]

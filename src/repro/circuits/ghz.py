@@ -1,0 +1,44 @@
+"""GHZ state-preparation circuits.
+
+The paper opens its characterisation (Section 3.1) with a GHZ-10 circuit:
+the ideal output is an equal superposition of the all-zero and all-one
+strings, so the correct set has two members and every other outcome is
+erroneous.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import CircuitError
+from repro.quantum.circuit import QuantumCircuit
+
+__all__ = ["ghz_circuit", "ghz_correct_outcomes"]
+
+
+def ghz_circuit(num_qubits: int, linear_chain: bool = True) -> QuantumCircuit:
+    """Prepare an ``num_qubits``-qubit GHZ state.
+
+    Parameters
+    ----------
+    linear_chain:
+        If True (default) the entangler is a CX chain ``0→1→2→...`` (depth
+        grows linearly, as on hardware with limited connectivity).  If False,
+        a star pattern ``0→k`` is used (all CX share qubit 0).
+    """
+    if num_qubits < 2:
+        raise CircuitError(f"GHZ needs at least 2 qubits, got {num_qubits}")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz-{num_qubits}")
+    circuit.h(0)
+    if linear_chain:
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+    else:
+        for qubit in range(1, num_qubits):
+            circuit.cx(0, qubit)
+    return circuit
+
+
+def ghz_correct_outcomes(num_qubits: int) -> list[str]:
+    """The two correct outcomes of a GHZ circuit (all zeros and all ones)."""
+    if num_qubits < 2:
+        raise CircuitError(f"GHZ needs at least 2 qubits, got {num_qubits}")
+    return ["0" * num_qubits, "1" * num_qubits]

@@ -1,0 +1,100 @@
+"""QAOA ansatz circuits for max-cut instances.
+
+The Quantum Approximate Optimization Algorithm (Farhi et al.) alternates a
+*cost layer* ``exp(-i γ_l C)`` (one RZZ per weighted edge) with a *mixer
+layer* ``exp(-i β_l Σ X)`` (one RX per qubit), repeated ``p`` times after an
+initial Hadamard layer.  The measured bitstrings are candidate cuts whose
+quality is scored with :mod:`repro.maxcut.cost`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum.circuit import QuantumCircuit
+
+if TYPE_CHECKING:  # imported lazily to avoid a circular import with repro.maxcut
+    from repro.maxcut.graphs import MaxCutProblem
+
+__all__ = ["QaoaParameters", "qaoa_circuit", "default_qaoa_parameters"]
+
+
+@dataclass(frozen=True)
+class QaoaParameters:
+    """The variational angles of a depth-``p`` QAOA circuit.
+
+    Attributes
+    ----------
+    gammas:
+        Cost-layer angles, one per layer.
+    betas:
+        Mixer-layer angles, one per layer.
+    """
+
+    gammas: tuple[float, ...]
+    betas: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.gammas) != len(self.betas):
+            raise CircuitError("gammas and betas must have the same length")
+        if not self.gammas:
+            raise CircuitError("QAOA needs at least one layer")
+
+    @property
+    def num_layers(self) -> int:
+        """Number of QAOA layers ``p``."""
+        return len(self.gammas)
+
+    @classmethod
+    def from_flat(cls, values: Sequence[float]) -> "QaoaParameters":
+        """Build parameters from a flat ``[γ_1..γ_p, β_1..β_p]`` vector."""
+        values = list(values)
+        if not values or len(values) % 2 != 0:
+            raise CircuitError("flat parameter vector must have even, non-zero length")
+        half = len(values) // 2
+        return cls(gammas=tuple(values[:half]), betas=tuple(values[half:]))
+
+    def to_flat(self) -> list[float]:
+        """Flatten to ``[γ_1..γ_p, β_1..β_p]`` for classical optimizers."""
+        return list(self.gammas) + list(self.betas)
+
+
+def default_qaoa_parameters(num_layers: int) -> QaoaParameters:
+    """Linear-ramp ("annealing-inspired") angles used when no optimiser is run.
+
+    The cost angles ramp up and the mixer angles ramp down across the layers,
+    with the sign convention that matches this package's ``RZZ(2γw)`` /
+    ``RX(2β)`` layers (γ > 0, β < 0 is the good quadrant).  The schedule gives
+    monotonically improving noise-free cost ratios with increasing ``p`` —
+    the precondition for reproducing Figure 10(a) — without a per-instance
+    classical optimisation loop.
+    """
+    if num_layers <= 0:
+        raise CircuitError(f"num_layers must be positive, got {num_layers}")
+    gammas = tuple(0.8 * (layer + 0.5) / num_layers for layer in range(num_layers))
+    betas = tuple(-0.4 * (1.0 - (layer + 0.5) / num_layers) for layer in range(num_layers))
+    return QaoaParameters(gammas=gammas, betas=betas)
+
+
+def qaoa_circuit(problem: "MaxCutProblem", parameters: QaoaParameters) -> QuantumCircuit:
+    """Build the QAOA circuit for a max-cut instance.
+
+    The cost layer applies ``RZZ(2 γ w_ij)`` on every edge, matching the Ising
+    cost convention of :mod:`repro.maxcut.cost`; the mixer applies
+    ``RX(2 β)`` on every qubit.
+    """
+    num_qubits = problem.num_nodes
+    circuit = QuantumCircuit(num_qubits, name=f"qaoa-{problem.family}-{num_qubits}-p{parameters.num_layers}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for gamma, beta in zip(parameters.gammas, parameters.betas):
+        for u, v, weight in problem.edges():
+            circuit.rzz(2.0 * gamma * weight, u, v)
+        for qubit in range(num_qubits):
+            circuit.rx(2.0 * beta, qubit)
+    return circuit

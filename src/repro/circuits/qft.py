@@ -1,0 +1,48 @@
+"""Quantum Fourier Transform circuits.
+
+Not a paper workload per se, but a standard structured benchmark included so
+examples and tests can exercise controlled-phase gates and the transpiler on
+an all-to-all interaction pattern (the opposite extreme from the hardware
+grid QAOA circuits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum.circuit import QuantumCircuit
+
+__all__ = ["qft_circuit", "qft_basis_state_circuit"]
+
+
+def qft_circuit(num_qubits: int, include_swaps: bool = True) -> QuantumCircuit:
+    """Build the standard QFT circuit on ``num_qubits`` qubits."""
+    if num_qubits <= 0:
+        raise CircuitError(f"num_qubits must be positive, got {num_qubits}")
+    circuit = QuantumCircuit(num_qubits, name=f"qft-{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control_offset, control in enumerate(range(target + 1, num_qubits), start=2):
+            circuit.cp(2.0 * np.pi / (2**control_offset), control, target)
+    if include_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def qft_basis_state_circuit(input_bitstring: str) -> QuantumCircuit:
+    """Prepare ``|input⟩``, apply QFT then inverse QFT — ideal output is the input.
+
+    Useful as a single-correct-answer benchmark with a rich two-qubit gate
+    structure (every pair interacts).
+    """
+    num_qubits = len(input_bitstring)
+    if not input_bitstring or set(input_bitstring) - {"0", "1"}:
+        raise CircuitError(f"input must be a non-empty bitstring, got {input_bitstring!r}")
+    circuit = QuantumCircuit(num_qubits, name=f"qft-roundtrip-{num_qubits}")
+    for qubit, bit in enumerate(input_bitstring):
+        if bit == "1":
+            circuit.x(qubit)
+    forward = qft_circuit(num_qubits, include_swaps=False)
+    return circuit.compose(forward).compose(forward.inverse())

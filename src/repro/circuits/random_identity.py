@@ -1,0 +1,103 @@
+"""Random identity benchmarks (Section 7: H · U_R · U_R† · H).
+
+Each circuit starts and ends with a Hadamard layer; in between a random
+unitary ``U_R`` (random single-qubit rotations and CX/CZ entanglers) and its
+inverse are applied, so the ideal output is the all-zero string regardless of
+``U_R``.  Varying the depth and entangler density of ``U_R`` sweeps the
+entanglement entropy, which is what Figure 11 correlates against the EHD of
+the noisy output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.entanglement import entanglement_entropy
+from repro.quantum.statevector import simulate_statevector
+
+__all__ = ["RandomIdentitySpec", "random_identity_circuit", "random_unitary_circuit", "identity_correct_outcome"]
+
+_SINGLE_QUBIT_GATES = ("rx", "ry", "rz")
+_TWO_QUBIT_GATES = ("cx", "cz")
+
+
+@dataclass(frozen=True)
+class RandomIdentitySpec:
+    """Parameters of one H·U_R·U_R†·H benchmark instance.
+
+    Attributes
+    ----------
+    num_qubits:
+        Circuit width.
+    depth:
+        Number of layers in ``U_R``; the full circuit has roughly twice this
+        depth plus the two Hadamard layers.  The paper uses up to 15 (low
+        depth set) and up to 25 (high depth set).
+    two_qubit_density:
+        Probability that a layer places an entangling gate on a given
+        adjacent qubit pair; controls the entanglement generated.
+    seed:
+        RNG seed for the random gate choices.
+    """
+
+    num_qubits: int
+    depth: int
+    two_qubit_density: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 2:
+            raise CircuitError("random identity circuits need at least 2 qubits")
+        if self.depth < 1:
+            raise CircuitError("depth must be at least 1")
+        if not 0.0 <= self.two_qubit_density <= 1.0:
+            raise CircuitError("two_qubit_density must be in [0, 1]")
+
+
+def random_unitary_circuit(spec: RandomIdentitySpec) -> QuantumCircuit:
+    """Build only the random sub-circuit ``U_R`` of the benchmark."""
+    rng = np.random.default_rng(spec.seed)
+    circuit = QuantumCircuit(spec.num_qubits, name=f"ur-{spec.num_qubits}-d{spec.depth}")
+    for _ in range(spec.depth):
+        for qubit in range(spec.num_qubits):
+            gate = _SINGLE_QUBIT_GATES[rng.integers(0, len(_SINGLE_QUBIT_GATES))]
+            circuit.append(gate, [qubit], [float(rng.uniform(0, 2 * np.pi))])
+        for qubit in range(0, spec.num_qubits - 1):
+            if rng.random() < spec.two_qubit_density:
+                gate = _TWO_QUBIT_GATES[rng.integers(0, len(_TWO_QUBIT_GATES))]
+                circuit.append(gate, [qubit, qubit + 1])
+    return circuit
+
+
+def random_identity_circuit(spec: RandomIdentitySpec) -> tuple[QuantumCircuit, float]:
+    """Build the full H·U_R·U_R†·H circuit and its entanglement entropy.
+
+    Returns
+    -------
+    (circuit, entropy):
+        The benchmark circuit (ideal output = all zeros) and the bipartite
+        entanglement entropy of the state after ``H·U_R`` — the x-axis of
+        Figure 11(a)/(c).
+    """
+    unitary = random_unitary_circuit(spec)
+    hadamard_layer = QuantumCircuit(spec.num_qubits, name="h-layer")
+    for qubit in range(spec.num_qubits):
+        hadamard_layer.h(qubit)
+
+    entangled_half = hadamard_layer.compose(unitary)
+    entropy = entanglement_entropy(simulate_statevector(entangled_half))
+
+    full = entangled_half.compose(unitary.inverse()).compose(hadamard_layer)
+    full.name = f"rand-identity-{spec.num_qubits}-d{spec.depth}-s{spec.seed}"
+    return full, float(entropy)
+
+
+def identity_correct_outcome(num_qubits: int) -> str:
+    """The single correct outcome of a random identity circuit (all zeros)."""
+    if num_qubits <= 0:
+        raise CircuitError(f"num_qubits must be positive, got {num_qubits}")
+    return "0" * num_qubits

@@ -1,0 +1,227 @@
+"""Command-line interface: regenerate any paper figure/table from the terminal.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig8            # BV PST/IST improvement sweep
+    python -m repro.cli fig9 --family grid
+    python -m repro.cli headline --scale small
+
+Each experiment prints its summary numbers followed by the row table the
+corresponding benchmark also checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets.google_qaoa import full_table1_config, generate_google_dataset, small_table1_config, table1_summaries
+from repro.datasets.ibm_suite import full_table2_config, generate_ibm_suite, small_table2_config, table2_summaries
+from repro.experiments import (
+    BvStudyConfig,
+    EhdStudyConfig,
+    EntanglementStudyConfig,
+    LandscapeStudyConfig,
+    LayersStudyConfig,
+    format_table,
+    run_bv_histogram_example,
+    run_bv_single_example,
+    run_bv_study,
+    run_chs_pipeline,
+    run_cost_ratio_scurve,
+    run_ehd_dataset_comparison,
+    run_ehd_scaling,
+    run_entanglement_study,
+    run_ghz_clustering,
+    run_hamming_spectrum,
+    run_headline_summary,
+    run_ibm_qaoa_study,
+    run_landscape_study,
+    run_layers_study,
+    run_neighbor_cost_study,
+    run_noise_impact_example,
+    run_operation_count_table,
+    run_quality_distribution_example,
+    run_runtime_scaling,
+)
+from repro.experiments.runner import ExperimentReport
+
+__all__ = ["main", "build_parser", "run_experiment", "EXPERIMENTS"]
+
+
+def _fig1a(args: argparse.Namespace) -> ExperimentReport:
+    return run_bv_histogram_example(num_qubits=args.qubits or 4)
+
+
+def _fig1b(args: argparse.Namespace) -> ExperimentReport:
+    return run_ehd_scaling("qaoa-p2", config=EhdStudyConfig())
+
+
+def _fig2(args: argparse.Namespace) -> ExperimentReport:
+    return run_noise_impact_example(num_qubits=args.qubits or 9)
+
+
+def _fig3(args: argparse.Namespace) -> ExperimentReport:
+    return run_hamming_spectrum(benchmark=args.family or "bv", num_qubits=args.qubits or 8)
+
+
+def _ghz(args: argparse.Namespace) -> ExperimentReport:
+    return run_ghz_clustering(num_qubits=args.qubits or 10)
+
+
+def _fig5(args: argparse.Namespace) -> ExperimentReport:
+    return run_neighbor_cost_study(LandscapeStudyConfig(num_nodes=args.qubits or 10))
+
+
+def _fig7(args: argparse.Namespace) -> ExperimentReport:
+    return run_chs_pipeline(num_qubits=args.qubits or 10)
+
+
+def _fig8(args: argparse.Namespace) -> ExperimentReport:
+    if args.scale == "full":
+        config = BvStudyConfig(qubit_range=(5, 16), keys_per_size=7)
+    else:
+        config = BvStudyConfig()
+    return run_bv_study(config)
+
+
+def _fig8a(args: argparse.Namespace) -> ExperimentReport:
+    return run_bv_single_example(num_qubits=args.qubits or 10)
+
+
+def _fig9(args: argparse.Namespace) -> ExperimentReport:
+    config = full_table1_config() if args.scale == "full" else small_table1_config()
+    return run_cost_ratio_scurve(family=args.family or "3-regular", config=config)
+
+
+def _fig9b(args: argparse.Namespace) -> ExperimentReport:
+    config = full_table1_config() if args.scale == "full" else small_table1_config()
+    return run_quality_distribution_example(
+        target_qubits=args.qubits or 10, family=args.family or "3-regular", config=config
+    )
+
+
+def _fig10(args: argparse.Namespace) -> ExperimentReport:
+    if args.scale == "full":
+        config = LayersStudyConfig(node_values=(10, 12, 14, 16, 18, 20))
+    else:
+        config = LayersStudyConfig()
+    return run_layers_study(config)
+
+
+def _fig10b(args: argparse.Namespace) -> ExperimentReport:
+    return run_landscape_study(LandscapeStudyConfig(num_nodes=args.qubits or 10))
+
+
+def _fig11(args: argparse.Namespace) -> ExperimentReport:
+    return run_entanglement_study(
+        EntanglementStudyConfig(), depth_class=args.family or "high"
+    )
+
+
+def _fig12(args: argparse.Namespace) -> ExperimentReport:
+    return run_ehd_dataset_comparison(EhdStudyConfig())
+
+
+def _table1(args: argparse.Namespace) -> ExperimentReport:
+    config = full_table1_config() if args.scale == "full" else small_table1_config()
+    records = generate_google_dataset(config)
+    rows = [summary.as_row() for summary in table1_summaries(records)]
+    report = ExperimentReport(name="table1_google_dataset", rows=rows)
+    report.summary["total_circuits"] = float(len(records))
+    return report
+
+
+def _table2(args: argparse.Namespace) -> ExperimentReport:
+    config = full_table2_config() if args.scale == "full" else small_table2_config()
+    records = generate_ibm_suite(config)
+    rows = [summary.as_row() for summary in table2_summaries(records)]
+    report = ExperimentReport(name="table2_ibm_dataset", rows=rows)
+    report.summary["total_circuits"] = float(len(records))
+    return report
+
+
+def _table3(args: argparse.Namespace) -> ExperimentReport:
+    return run_operation_count_table()
+
+
+def _table3_runtime(args: argparse.Namespace) -> ExperimentReport:
+    return run_runtime_scaling()
+
+
+def _sec64(args: argparse.Namespace) -> ExperimentReport:
+    config = full_table2_config() if args.scale == "full" else small_table2_config()
+    return run_ibm_qaoa_study(config=config)
+
+
+def _headline(args: argparse.Namespace) -> ExperimentReport:
+    ibm = full_table2_config() if args.scale == "full" else small_table2_config()
+    google = full_table1_config() if args.scale == "full" else small_table1_config()
+    return run_headline_summary(ibm_config=ibm, google_config=google)
+
+
+#: Registry of experiment id -> (description, runner).
+EXPERIMENTS = {
+    "fig1a": ("Figure 1(a): BV-4 noisy histogram", _fig1a),
+    "fig1b": ("Figure 1(b): EHD vs qubits for QAOA p=2", _fig1b),
+    "fig2": ("Figure 2(d): ideal vs noisy QAOA expected cost", _fig2),
+    "fig3": ("Figure 3: Hamming spectrum (--family bv|qaoa)", _fig3),
+    "ghz": ("Section 3.1: GHZ error clustering", _ghz),
+    "fig5": ("Figure 5: cost of cuts near the optimum", _fig5),
+    "fig7": ("Figure 7: CHS / weights / scores pipeline", _fig7),
+    "fig8": ("Figure 8(b): BV PST/IST improvement sweep", _fig8),
+    "fig8a": ("Figure 8(a): BV-10 before/after HAMMER", _fig8a),
+    "fig9": ("Figure 9(a)/(c): QAOA cost-ratio S-curve", _fig9),
+    "fig9b": ("Figure 9(b)/(d): solution-quality distribution", _fig9b),
+    "fig10": ("Figure 10(a): CR vs QAOA layers", _fig10),
+    "fig10b": ("Figure 10(b): (beta,gamma) landscape", _fig10b),
+    "fig11": ("Figure 11: EHD vs entanglement/fidelity (--family high|low)", _fig11),
+    "fig12": ("Figure 12: EHD across datasets", _fig12),
+    "table1": ("Table 1: Google dataset composition", _table1),
+    "table2": ("Table 2: IBM dataset composition", _table2),
+    "table3": ("Table 3: operation counts", _table3),
+    "table3-runtime": ("Table 3 (measured): runtime scaling", _table3_runtime),
+    "sec64": ("Section 6.4: IBM QAOA TVD/CR improvement", _sec64),
+    "headline": ("Headline: average quality improvement across suites", _headline),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="hammer-repro",
+        description="Regenerate figures/tables of the HAMMER paper (ASPLOS 2022) reproduction.",
+    )
+    parser.add_argument("experiment", help="experiment id (use 'list' to see all)")
+    parser.add_argument("--scale", choices=("small", "full"), default="small",
+                        help="dataset scale: 'small' for quick runs, 'full' for paper-scale sweeps")
+    parser.add_argument("--qubits", type=int, default=None, help="override the circuit width")
+    parser.add_argument("--family", type=str, default=None,
+                        help="workload family / variant selector (experiment-specific)")
+    return parser
+
+
+def run_experiment(name: str, args: argparse.Namespace) -> ExperimentReport:
+    """Run one registered experiment and return its report."""
+    if name not in EXPERIMENTS:
+        raise SystemExit(f"unknown experiment {name!r}; run 'list' to see the registry")
+    _, runner = EXPERIMENTS[name]
+    return runner(args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        rows = [{"id": key, "description": description} for key, (description, _) in EXPERIMENTS.items()]
+        print(format_table(rows))
+        return 0
+    report = run_experiment(args.experiment, args)
+    print(report.to_text())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

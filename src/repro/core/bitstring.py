@@ -1,0 +1,220 @@
+"""Bitstring utilities used throughout the HAMMER reproduction.
+
+Outcomes of a quantum circuit measurement are represented as Python strings
+over the alphabet ``{"0", "1"}``.  The functions here provide validated
+conversions between strings and integers, Hamming-distance computations
+(scalar and vectorised), and neighbourhood enumeration in the Hamming space.
+
+The vectorised helpers operate on ``numpy`` integer arrays so that the
+``O(N^2)`` pairwise Hamming-distance computations at the heart of HAMMER can
+be carried out with popcount arithmetic rather than per-character loops.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import BitstringError
+
+__all__ = [
+    "validate_bitstring",
+    "bitstring_to_int",
+    "int_to_bitstring",
+    "hamming_distance",
+    "hamming_weight",
+    "flip_bits",
+    "neighbors_at_distance",
+    "all_bitstrings",
+    "random_bitstring",
+    "pack_bitstrings",
+    "pairwise_hamming_matrix",
+    "hamming_distance_to_reference",
+]
+
+_VALID_CHARS = frozenset("01")
+
+
+def validate_bitstring(bitstring: str, num_bits: int | None = None) -> str:
+    """Validate that ``bitstring`` only contains '0'/'1' characters.
+
+    Parameters
+    ----------
+    bitstring:
+        Candidate outcome string.
+    num_bits:
+        If given, also require ``len(bitstring) == num_bits``.
+
+    Returns
+    -------
+    str
+        The validated bitstring (unchanged), to allow call chaining.
+
+    Raises
+    ------
+    BitstringError
+        If the string is empty, contains characters outside ``{0, 1}`` or has
+        the wrong width.
+    """
+    if not isinstance(bitstring, str):
+        raise BitstringError(f"bitstring must be a str, got {type(bitstring).__name__}")
+    if not bitstring:
+        raise BitstringError("bitstring must not be empty")
+    if not set(bitstring) <= _VALID_CHARS:
+        raise BitstringError(f"bitstring {bitstring!r} contains characters outside '0'/'1'")
+    if num_bits is not None and len(bitstring) != num_bits:
+        raise BitstringError(
+            f"bitstring {bitstring!r} has width {len(bitstring)}, expected {num_bits}"
+        )
+    return bitstring
+
+
+def bitstring_to_int(bitstring: str) -> int:
+    """Convert a bitstring (most-significant bit first) to an integer."""
+    validate_bitstring(bitstring)
+    return int(bitstring, 2)
+
+
+def int_to_bitstring(value: int, num_bits: int) -> str:
+    """Convert an integer to a fixed-width bitstring (MSB first).
+
+    Raises
+    ------
+    BitstringError
+        If ``value`` is negative or does not fit in ``num_bits`` bits.
+    """
+    if num_bits <= 0:
+        raise BitstringError(f"num_bits must be positive, got {num_bits}")
+    if value < 0:
+        raise BitstringError(f"value must be non-negative, got {value}")
+    if value >= (1 << num_bits):
+        raise BitstringError(f"value {value} does not fit in {num_bits} bits")
+    return format(value, f"0{num_bits}b")
+
+
+def hamming_weight(bitstring: str) -> int:
+    """Return the number of '1' characters in ``bitstring``."""
+    validate_bitstring(bitstring)
+    return bitstring.count("1")
+
+
+def hamming_distance(a: str, b: str) -> int:
+    """Return the Hamming distance between two equal-width bitstrings."""
+    validate_bitstring(a)
+    validate_bitstring(b, num_bits=len(a))
+    return sum(ca != cb for ca, cb in zip(a, b))
+
+
+def flip_bits(bitstring: str, positions: Iterable[int]) -> str:
+    """Return a copy of ``bitstring`` with the given bit positions flipped.
+
+    Positions index from the left (position 0 is the most-significant bit,
+    matching string indexing).
+    """
+    validate_bitstring(bitstring)
+    chars = list(bitstring)
+    width = len(chars)
+    for pos in positions:
+        if not 0 <= pos < width:
+            raise BitstringError(f"bit position {pos} out of range for width {width}")
+        chars[pos] = "1" if chars[pos] == "0" else "0"
+    return "".join(chars)
+
+
+def neighbors_at_distance(bitstring: str, distance: int) -> Iterator[str]:
+    """Yield every bitstring at exactly ``distance`` Hamming distance.
+
+    The number of neighbours is ``C(n, distance)``; callers should keep the
+    distance small for wide strings.
+    """
+    validate_bitstring(bitstring)
+    n = len(bitstring)
+    if distance < 0 or distance > n:
+        raise BitstringError(f"distance {distance} out of range [0, {n}]")
+    from itertools import combinations
+
+    for positions in combinations(range(n), distance):
+        yield flip_bits(bitstring, positions)
+
+
+def all_bitstrings(num_bits: int) -> list[str]:
+    """Return every bitstring of the given width, in ascending integer order."""
+    if num_bits <= 0:
+        raise BitstringError(f"num_bits must be positive, got {num_bits}")
+    if num_bits > 24:
+        raise BitstringError(
+            f"refusing to enumerate 2**{num_bits} bitstrings; use sampling instead"
+        )
+    return [int_to_bitstring(value, num_bits) for value in range(1 << num_bits)]
+
+
+def random_bitstring(num_bits: int, rng: np.random.Generator | None = None) -> str:
+    """Return a uniformly random bitstring of the given width."""
+    if num_bits <= 0:
+        raise BitstringError(f"num_bits must be positive, got {num_bits}")
+    generator = rng if rng is not None else np.random.default_rng()
+    bits = generator.integers(0, 2, size=num_bits)
+    return "".join("1" if bit else "0" for bit in bits)
+
+
+def pack_bitstrings(bitstrings: Sequence[str]) -> np.ndarray:
+    """Pack bitstrings into a 2-D uint64 array for fast Hamming arithmetic.
+
+    Each row corresponds to one bitstring; columns hold 64-bit words (MSB of
+    the string in the most-significant position of the first word's used
+    bits).  All strings must share the same width.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(len(bitstrings), ceil(width / 64))`` and dtype
+        ``uint64``.
+    """
+    if not bitstrings:
+        raise BitstringError("cannot pack an empty sequence of bitstrings")
+    width = len(bitstrings[0])
+    num_words = (width + 63) // 64
+    packed = np.zeros((len(bitstrings), num_words), dtype=np.uint64)
+    for row, bitstring in enumerate(bitstrings):
+        validate_bitstring(bitstring, num_bits=width)
+        for word_index in range(num_words):
+            chunk = bitstring[word_index * 64 : (word_index + 1) * 64]
+            packed[row, word_index] = np.uint64(int(chunk, 2))
+    return packed
+
+
+def _popcount(values: np.ndarray) -> np.ndarray:
+    """Vectorised popcount for uint64 arrays."""
+    return np.bitwise_count(values)
+
+
+def pairwise_hamming_matrix(bitstrings: Sequence[str]) -> np.ndarray:
+    """Return the full ``N x N`` matrix of pairwise Hamming distances.
+
+    Implemented with packed uint64 words and popcounts, so the cost is
+    ``O(N^2 * ceil(width/64))`` word operations rather than ``O(N^2 * width)``
+    character comparisons.
+    """
+    packed = pack_bitstrings(bitstrings)
+    n_rows = packed.shape[0]
+    distances = np.zeros((n_rows, n_rows), dtype=np.int64)
+    for word_index in range(packed.shape[1]):
+        column = packed[:, word_index]
+        xor = np.bitwise_xor.outer(column, column)
+        distances += _popcount(xor).astype(np.int64)
+    return distances
+
+
+def hamming_distance_to_reference(bitstrings: Sequence[str], reference: str) -> np.ndarray:
+    """Return Hamming distances from every bitstring to a single reference."""
+    validate_bitstring(reference)
+    packed = pack_bitstrings(list(bitstrings))
+    reference_packed = pack_bitstrings([reference])[0]
+    if packed.shape[1] != reference_packed.shape[0]:
+        raise BitstringError("reference width does not match bitstring width")
+    distances = np.zeros(packed.shape[0], dtype=np.int64)
+    for word_index in range(packed.shape[1]):
+        xor = np.bitwise_xor(packed[:, word_index], reference_packed[word_index])
+        distances += _popcount(xor).astype(np.int64)
+    return distances

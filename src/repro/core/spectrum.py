@@ -1,0 +1,211 @@
+"""Hamming spectrum, Cumulative Hamming Strength (CHS) and EHD.
+
+Section 3 of the paper introduces three characterisation tools that this
+module implements:
+
+* The **Hamming spectrum** of a distribution with respect to a set of correct
+  answers: each outcome is bucketed into the bin given by its (shortest)
+  Hamming distance to a correct answer (Figure 3 of the paper).
+* The **Cumulative Hamming Strength (CHS)** of an outcome: a vector whose
+  ``d``-th entry is the total probability of all outcomes exactly ``d``
+  Hamming distance away from it (Figure 7(b)).
+* The **Expected Hamming Distance (EHD)**: the probability-weighted average
+  Hamming distance between the erroneous outcomes and the correct answer(s)
+  (Figures 1(b), 11 and 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.bitstring import pairwise_hamming_matrix, validate_bitstring
+from repro.core.distribution import Distribution
+from repro.exceptions import DistributionError
+
+__all__ = [
+    "HammingSpectrum",
+    "hamming_spectrum",
+    "cumulative_hamming_strength",
+    "average_chs",
+    "expected_hamming_distance",
+    "uniform_model_ehd",
+    "distance_to_correct_set",
+]
+
+
+@dataclass(frozen=True)
+class HammingSpectrum:
+    """Bucketed view of a distribution in Hamming space.
+
+    Attributes
+    ----------
+    bins:
+        ``bins[d]`` is the total probability of outcomes whose shortest
+        Hamming distance to the correct set equals ``d``; length ``n + 1``.
+    bin_members:
+        ``bin_members[d]`` lists ``(outcome, probability)`` pairs in bin ``d``.
+    correct_outcomes:
+        The reference outcomes the spectrum was computed against.
+    num_bits:
+        Output width of the underlying circuit.
+    """
+
+    bins: np.ndarray
+    bin_members: tuple[tuple[tuple[str, float], ...], ...]
+    correct_outcomes: tuple[str, ...]
+    num_bits: int
+
+    def bin_probability(self, distance: int) -> float:
+        """Total probability mass at the given Hamming distance."""
+        if not 0 <= distance <= self.num_bits:
+            raise DistributionError(f"distance {distance} out of range [0, {self.num_bits}]")
+        return float(self.bins[distance])
+
+    def bin_average_probability(self, distance: int) -> float:
+        """Average per-outcome probability of the bin at ``distance`` (0 if empty)."""
+        members = self.bin_members[distance]
+        if not members:
+            return 0.0
+        return float(sum(p for _, p in members) / len(members))
+
+    def correct_probability(self) -> float:
+        """Probability mass of the correct outcomes (the distance-0 bin)."""
+        return float(self.bins[0])
+
+    def nonzero_bins(self) -> list[int]:
+        """Indices of bins with non-zero probability mass."""
+        return [int(d) for d in np.nonzero(self.bins > 0)[0]]
+
+    def as_series(self) -> list[tuple[int, float]]:
+        """Return ``(distance, probability)`` pairs for plotting."""
+        return [(d, float(p)) for d, p in enumerate(self.bins)]
+
+
+def distance_to_correct_set(outcome: str, correct_outcomes: Sequence[str]) -> int:
+    """Shortest Hamming distance from ``outcome`` to any correct outcome."""
+    if not correct_outcomes:
+        raise DistributionError("correct_outcomes must not be empty")
+    validate_bitstring(outcome)
+    best = len(outcome)
+    for correct in correct_outcomes:
+        validate_bitstring(correct, num_bits=len(outcome))
+        distance = sum(a != b for a, b in zip(outcome, correct))
+        if distance < best:
+            best = distance
+            if best == 0:
+                break
+    return best
+
+
+def hamming_spectrum(
+    distribution: Distribution, correct_outcomes: Sequence[str]
+) -> HammingSpectrum:
+    """Compute the Hamming spectrum of ``distribution`` w.r.t. the correct set.
+
+    For circuits with multiple correct outcomes the shortest distance to any
+    of them is used, matching Section 3.2 of the paper.
+    """
+    if not correct_outcomes:
+        raise DistributionError("correct_outcomes must not be empty")
+    num_bits = distribution.num_bits
+    for correct in correct_outcomes:
+        validate_bitstring(correct, num_bits=num_bits)
+    bins = np.zeros(num_bits + 1, dtype=float)
+    members: list[list[tuple[str, float]]] = [[] for _ in range(num_bits + 1)]
+    for outcome, probability in distribution.items():
+        distance = distance_to_correct_set(outcome, correct_outcomes)
+        bins[distance] += probability
+        members[distance].append((outcome, probability))
+    return HammingSpectrum(
+        bins=bins,
+        bin_members=tuple(tuple(bucket) for bucket in members),
+        correct_outcomes=tuple(correct_outcomes),
+        num_bits=num_bits,
+    )
+
+
+def cumulative_hamming_strength(
+    distribution: Distribution,
+    outcome: str,
+    max_distance: int | None = None,
+) -> np.ndarray:
+    """CHS vector of a single outcome.
+
+    ``chs[d]`` holds the total probability of every outcome in the
+    distribution at exactly Hamming distance ``d`` from ``outcome``
+    (including the outcome itself at ``d = 0``).
+
+    Parameters
+    ----------
+    max_distance:
+        Length of the returned vector minus one.  Defaults to ``num_bits``.
+    """
+    num_bits = distribution.num_bits
+    validate_bitstring(outcome, num_bits=num_bits)
+    limit = num_bits if max_distance is None else max_distance
+    if limit < 0:
+        raise DistributionError(f"max_distance must be >= 0, got {max_distance}")
+    chs = np.zeros(limit + 1, dtype=float)
+    distances = distribution.hamming_distances_to(outcome)
+    probabilities = np.array([p for _, p in distribution.items()])
+    for distance, probability in zip(distances, probabilities):
+        if distance <= limit:
+            chs[distance] += probability
+    return chs
+
+
+def average_chs(distribution: Distribution, max_distance: int | None = None) -> np.ndarray:
+    """Average CHS over every outcome in the distribution.
+
+    This is the "global neighbourhood information" of Section 4.3: because the
+    vast majority of outcomes are erroneous, the average CHS approximates the
+    CHS of a typical erroneous outcome and is what HAMMER inverts to obtain
+    its per-distance weights.
+
+    The computation is the probability-weighted *unnormalised* sum used by
+    Algorithm 1 (every ordered pair ``(x, y)`` contributes ``P(y)`` to bin
+    ``d(x, y)``), divided by the number of outcomes so the result is an
+    average rather than a sum.
+    """
+    num_bits = distribution.num_bits
+    limit = num_bits if max_distance is None else max_distance
+    outcomes = distribution.outcomes()
+    probabilities = np.array([distribution.probability(o) for o in outcomes])
+    distance_matrix = pairwise_hamming_matrix(outcomes)
+    chs = np.zeros(limit + 1, dtype=float)
+    for distance in range(limit + 1):
+        mask = distance_matrix == distance
+        # Sum of P(y) over all ordered pairs at this distance.
+        chs[distance] = float(mask.astype(float).dot(probabilities).sum())
+    return chs / len(outcomes)
+
+
+def expected_hamming_distance(
+    distribution: Distribution, correct_outcomes: Sequence[str]
+) -> float:
+    """Expected Hamming Distance (EHD) of a noisy distribution.
+
+    EHD is the probability-weighted mean of the shortest Hamming distance
+    between each outcome and the correct set.  It is 0 for a perfect
+    distribution and approaches ``n / 2`` for uniform errors.
+    """
+    spectrum = hamming_spectrum(distribution, correct_outcomes)
+    distances = np.arange(spectrum.num_bits + 1, dtype=float)
+    total = float(spectrum.bins.sum())
+    if total <= 0:
+        raise DistributionError("distribution has no probability mass")
+    return float(np.dot(distances, spectrum.bins) / total)
+
+
+def uniform_model_ehd(num_bits: int) -> float:
+    """EHD predicted by the uniform-error model (all outcomes equally likely).
+
+    Exact value: ``sum_d d * C(n, d) / 2**n = n / 2`` for a single correct
+    outcome; returned in closed form.
+    """
+    if num_bits <= 0:
+        raise DistributionError(f"num_bits must be positive, got {num_bits}")
+    return num_bits / 2.0

@@ -1,0 +1,38 @@
+"""Synthetic dataset emulators for the paper's IBM (Table 2) and Google (Table 1) suites."""
+
+from repro.datasets.google_qaoa import (
+    GoogleDatasetConfig,
+    full_table1_config,
+    generate_google_dataset,
+    small_table1_config,
+    table1_summaries,
+)
+from repro.datasets.ibm_suite import (
+    IbmSuiteConfig,
+    default_ibm_devices,
+    full_table2_config,
+    generate_bv_records,
+    generate_ibm_suite,
+    generate_qaoa_records,
+    small_table2_config,
+    table2_summaries,
+)
+from repro.datasets.records import CircuitRecord, DatasetSummary
+
+__all__ = [
+    "GoogleDatasetConfig",
+    "full_table1_config",
+    "generate_google_dataset",
+    "small_table1_config",
+    "table1_summaries",
+    "IbmSuiteConfig",
+    "default_ibm_devices",
+    "full_table2_config",
+    "generate_bv_records",
+    "generate_ibm_suite",
+    "generate_qaoa_records",
+    "small_table2_config",
+    "table2_summaries",
+    "CircuitRecord",
+    "DatasetSummary",
+]

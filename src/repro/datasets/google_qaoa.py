@@ -1,0 +1,217 @@
+"""Synthetic Google Sycamore QAOA dataset (Table 1 of the paper).
+
+The paper post-processes the publicly released Sycamore QAOA dataset
+(Harrigan et al., Nature Physics 2021): max-cut instances on hardware-grid,
+3-regular and Sherrington–Kirkpatrick graphs, p = 1..5, measured on the
+53-qubit Sycamore processor with readout correction already applied.
+
+Because that dataset cannot be downloaded here, this module regenerates
+records with the same composition: the same graph families and size/depth
+grid, executed on the simulated Sycamore device, with the tensored readout
+correction applied to the raw noisy histogram (so the "baseline" matches the
+paper's baseline, and HAMMER runs on top of it exactly as in Section 6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.readout_mitigation import ReadoutCalibration, mitigate_readout
+from repro.circuits.qaoa import default_qaoa_parameters, qaoa_circuit
+from repro.datasets.records import CircuitRecord, DatasetSummary
+from repro.exceptions import DatasetError
+from repro.maxcut.graphs import (
+    MaxCutProblem,
+    grid_graph_problem,
+    regular_graph_problem,
+    sherrington_kirkpatrick_problem,
+)
+from repro.quantum.device import DeviceProfile, google_sycamore
+from repro.quantum.sampler import NoisySampler
+from repro.quantum.statevector import simulate_statevector
+from repro.quantum.transpiler import transpile
+
+__all__ = [
+    "GoogleDatasetConfig",
+    "full_table1_config",
+    "small_table1_config",
+    "generate_google_dataset",
+    "table1_summaries",
+]
+
+
+@dataclass(frozen=True)
+class GoogleDatasetConfig:
+    """Size/shape parameters of the synthetic Sycamore QAOA dataset.
+
+    Attributes
+    ----------
+    grid_qubit_range / grid_layer_values:
+        Hardware-grid instances (Table 1: 6-20 qubits, p = 1..5).
+    regular_qubit_range / regular_layer_values:
+        3-regular instances (Table 1: 4-16 qubits, p = 1..3).
+    include_sk:
+        Also generate fully-connected SK instances (part of the public
+        dataset, used for the Figure 10(b) landscape study).
+    instances_per_size:
+        Independent graph instances per (size, p) combination.
+    shots:
+        Trials per circuit (Google used 25 000).
+    noise_scale:
+        Multiplier on the Sycamore noise model.
+    transpile_circuits:
+        Route + decompose onto the Sycamore grid before sampling.
+    seed:
+        Master RNG seed.
+    """
+
+    grid_qubit_range: tuple[int, int] = (6, 20)
+    grid_layer_values: tuple[int, ...] = (1, 2, 3, 4, 5)
+    regular_qubit_range: tuple[int, int] = (4, 16)
+    regular_layer_values: tuple[int, ...] = (1, 2, 3)
+    include_sk: bool = False
+    instances_per_size: int = 1
+    shots: int = 25000
+    noise_scale: float = 1.0
+    transpile_circuits: bool = False
+    seed: int = 53
+
+    def __post_init__(self) -> None:
+        if self.grid_qubit_range[0] < 2 or self.grid_qubit_range[0] > self.grid_qubit_range[1]:
+            raise DatasetError(f"invalid grid qubit range {self.grid_qubit_range}")
+        if self.regular_qubit_range[0] < 4 or self.regular_qubit_range[0] > self.regular_qubit_range[1]:
+            raise DatasetError(f"invalid 3-regular qubit range {self.regular_qubit_range}")
+        if self.shots <= 0:
+            raise DatasetError("shots must be positive")
+
+
+def full_table1_config() -> GoogleDatasetConfig:
+    """The paper-scale Table 1 composition."""
+    return GoogleDatasetConfig()
+
+
+def small_table1_config() -> GoogleDatasetConfig:
+    """A laptop-scale configuration used by tests and the default benchmarks."""
+    return GoogleDatasetConfig(
+        grid_qubit_range=(6, 10),
+        grid_layer_values=(1, 2),
+        regular_qubit_range=(4, 10),
+        regular_layer_values=(1, 2),
+        instances_per_size=1,
+        shots=8192,
+    )
+
+
+def _grid_sizes(qubit_range: tuple[int, int]) -> list[int]:
+    low, high = qubit_range
+    return list(range(low, high + 1, 2))
+
+
+def _regular_sizes(qubit_range: tuple[int, int]) -> list[int]:
+    low, high = qubit_range
+    start = low if low % 2 == 0 else low + 1
+    return list(range(max(start, 4), high + 1, 2))
+
+
+def _build_problem(
+    family: str, num_nodes: int, rng: np.random.Generator
+) -> MaxCutProblem:
+    seed = int(rng.integers(0, 2**31))
+    if family == "grid":
+        return grid_graph_problem(num_nodes, seed=seed)
+    if family == "3-regular":
+        return regular_graph_problem(num_nodes, degree=3, seed=seed)
+    if family == "sk":
+        return sherrington_kirkpatrick_problem(num_nodes, seed=seed)
+    raise DatasetError(f"unknown Google dataset family {family!r}")
+
+
+def generate_google_dataset(
+    config: GoogleDatasetConfig | None = None,
+    device: DeviceProfile | None = None,
+) -> list[CircuitRecord]:
+    """Generate the synthetic Sycamore QAOA dataset.
+
+    Every record's ``noisy_distribution`` already includes the tensored
+    readout correction, matching how the paper's Google baseline is defined.
+    """
+    config = config or small_table1_config()
+    device = device or google_sycamore()
+    rng = np.random.default_rng(config.seed)
+    sampler = NoisySampler(
+        noise_model=device.noise_model.scaled(config.noise_scale),
+        shots=config.shots,
+        seed=int(rng.integers(0, 2**31)),
+    )
+
+    plan: list[tuple[str, int, int]] = []
+    for size in _grid_sizes(config.grid_qubit_range):
+        for layers in config.grid_layer_values:
+            plan.append(("grid", size, layers))
+    for size in _regular_sizes(config.regular_qubit_range):
+        for layers in config.regular_layer_values:
+            plan.append(("3-regular", size, layers))
+    if config.include_sk:
+        for size in _regular_sizes(config.regular_qubit_range):
+            for layers in config.regular_layer_values:
+                plan.append(("sk", size, layers))
+
+    records: list[CircuitRecord] = []
+    for family, size, layers in plan:
+        for instance_index in range(config.instances_per_size):
+            problem = _build_problem(family, size, rng)
+            parameters = default_qaoa_parameters(layers)
+            circuit = qaoa_circuit(problem, parameters)
+            if config.transpile_circuits:
+                circuit = transpile(
+                    circuit, coupling_map=device.coupling_map, basis_gates=device.basis_gates
+                ).circuit
+            ideal = simulate_statevector(circuit).measurement_distribution()
+            raw_noisy = sampler.run(circuit, ideal=ideal)
+            calibration = ReadoutCalibration.from_readout_error(
+                device.noise_model.readout_error, problem.num_nodes
+            )
+            corrected = mitigate_readout(raw_noisy, calibration)
+            records.append(
+                CircuitRecord(
+                    record_id=f"google-{family}-n{problem.num_nodes}-p{layers}-i{instance_index}",
+                    benchmark="qaoa",
+                    device=device.name,
+                    num_qubits=problem.num_nodes,
+                    noisy_distribution=corrected,
+                    ideal_distribution=ideal,
+                    problem=problem,
+                    num_layers=layers,
+                    metadata={
+                        "family": family,
+                        "readout_corrected": True,
+                        "depth": circuit.depth(),
+                        "num_edges": problem.num_edges,
+                    },
+                )
+            )
+    return records
+
+
+def table1_summaries(records: list[CircuitRecord]) -> list[DatasetSummary]:
+    """Summarise a generated dataset in the shape of Table 1."""
+    summaries: list[DatasetSummary] = []
+    for family, label in (("grid", "Maxcut on Grid"), ("3-regular", "Maxcut on 3-Reg Graphs"), ("sk", "Maxcut on SK model")):
+        family_records = [r for r in records if r.metadata.get("family") == family]
+        if not family_records:
+            continue
+        sizes = [r.num_qubits for r in family_records]
+        layers = [r.num_layers for r in family_records if r.num_layers is not None]
+        summaries.append(
+            DatasetSummary(
+                name="QAOA",
+                benchmark=label,
+                num_circuits=len(family_records),
+                qubit_range=(min(sizes), max(sizes)),
+                layer_range=(min(layers), max(layers)) if layers else None,
+                figure_of_merit=("CR",),
+            )
+        )
+    return summaries

@@ -1,0 +1,286 @@
+"""Synthetic IBM benchmark suite (Table 2 of the paper).
+
+The paper runs three workload groups on three IBM machines:
+
+=========  ==========================  ========  =======  ========
+Name       Algorithm                   Qubits    Layers    Circuits
+=========  ==========================  ========  =======  ========
+BV         Bernstein-Vazirani          5-15      --        88
+QAOA       Max-cut, 3-regular graphs   5-20      2 and 4   70
+QAOA       Max-cut, random graphs      5-20      2 and 4   70
+=========  ==========================  ========  =======  ========
+
+This module regenerates that suite with the simulator: every circuit is
+sampled on a chosen set of simulated IBM devices and packaged as
+:class:`~repro.datasets.records.CircuitRecord` objects.  The generators are
+parameterised so the test-suite and benchmarks can run scaled-down versions
+(fewer qubits / circuits) while the full Table-2 composition remains
+available through :func:`full_table2_config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.bv import bernstein_vazirani, bv_correct_outcome
+from repro.circuits.qaoa import default_qaoa_parameters, qaoa_circuit
+from repro.datasets.records import CircuitRecord, DatasetSummary
+from repro.exceptions import DatasetError
+from repro.maxcut.graphs import MaxCutProblem, erdos_renyi_problem, regular_graph_problem
+from repro.quantum.device import DeviceProfile, ibm_manhattan, ibm_paris, ibm_toronto
+from repro.quantum.sampler import NoisySampler
+from repro.quantum.statevector import simulate_statevector
+from repro.quantum.transpiler import transpile
+
+__all__ = [
+    "IbmSuiteConfig",
+    "full_table2_config",
+    "small_table2_config",
+    "generate_bv_records",
+    "generate_qaoa_records",
+    "generate_ibm_suite",
+    "table2_summaries",
+]
+
+
+@dataclass(frozen=True)
+class IbmSuiteConfig:
+    """Size/shape parameters of the generated IBM suite.
+
+    Attributes
+    ----------
+    bv_qubit_range:
+        Inclusive (min, max) BV widths.
+    bv_keys_per_size:
+        How many random secret keys to draw per width and device.
+    qaoa_qubit_range:
+        Inclusive (min, max) QAOA widths.
+    qaoa_layer_values:
+        QAOA depths ``p`` to include.
+    qaoa_instances_per_size:
+        Graph instances per (width, p, family, device).
+    shots:
+        Trials per circuit (the paper uses 8K-32K).
+    noise_scale:
+        Multiplier applied to each device's calibrated noise model; >1 makes
+        the suite harder, matching deeper/wider hardware runs.
+    transpile_circuits:
+        Route + decompose onto the device before sampling (slower, more
+        faithful gate counts).
+    seed:
+        Master RNG seed.
+    """
+
+    bv_qubit_range: tuple[int, int] = (5, 15)
+    bv_keys_per_size: int = 3
+    qaoa_qubit_range: tuple[int, int] = (5, 20)
+    qaoa_layer_values: tuple[int, ...] = (2, 4)
+    qaoa_instances_per_size: int = 2
+    shots: int = 8192
+    noise_scale: float = 1.0
+    transpile_circuits: bool = False
+    seed: int = 2022
+
+    def __post_init__(self) -> None:
+        if self.bv_qubit_range[0] < 2 or self.bv_qubit_range[0] > self.bv_qubit_range[1]:
+            raise DatasetError(f"invalid BV qubit range {self.bv_qubit_range}")
+        if self.qaoa_qubit_range[0] < 3 or self.qaoa_qubit_range[0] > self.qaoa_qubit_range[1]:
+            raise DatasetError(f"invalid QAOA qubit range {self.qaoa_qubit_range}")
+        if self.shots <= 0:
+            raise DatasetError("shots must be positive")
+
+
+def full_table2_config() -> IbmSuiteConfig:
+    """The paper-scale Table 2 composition (hundreds of statevector runs)."""
+    return IbmSuiteConfig(
+        bv_qubit_range=(5, 15),
+        bv_keys_per_size=3,
+        qaoa_qubit_range=(5, 20),
+        qaoa_layer_values=(2, 4),
+        qaoa_instances_per_size=2,
+        shots=8192,
+    )
+
+
+def small_table2_config() -> IbmSuiteConfig:
+    """A laptop-scale configuration used by tests and the default benchmarks."""
+    return IbmSuiteConfig(
+        bv_qubit_range=(5, 10),
+        bv_keys_per_size=2,
+        qaoa_qubit_range=(5, 10),
+        qaoa_layer_values=(2,),
+        qaoa_instances_per_size=1,
+        shots=4096,
+    )
+
+
+def default_ibm_devices() -> list[DeviceProfile]:
+    """The three simulated IBM machines of the evaluation."""
+    return [ibm_paris(), ibm_manhattan(), ibm_toronto()]
+
+
+def _random_secret_key(num_qubits: int, rng: np.random.Generator) -> str:
+    """A random BV key with at least one '1' bit (an all-zero key is trivial)."""
+    while True:
+        key = "".join("1" if rng.random() < 0.5 else "0" for _ in range(num_qubits))
+        if "1" in key:
+            return key
+
+
+def _prepare_circuit(circuit, device: DeviceProfile, config: IbmSuiteConfig):
+    """Optionally transpile a logical circuit onto the device."""
+    if not config.transpile_circuits:
+        return circuit
+    transpiled = transpile(circuit, coupling_map=device.coupling_map, basis_gates=device.basis_gates)
+    return transpiled.circuit
+
+
+def generate_bv_records(
+    config: IbmSuiteConfig | None = None,
+    devices: list[DeviceProfile] | None = None,
+) -> list[CircuitRecord]:
+    """Generate the Bernstein-Vazirani rows of Table 2."""
+    config = config or small_table2_config()
+    devices = devices if devices is not None else default_ibm_devices()
+    rng = np.random.default_rng(config.seed)
+    records: list[CircuitRecord] = []
+    low, high = config.bv_qubit_range
+    for device in devices:
+        sampler = NoisySampler(
+            noise_model=device.noise_model.scaled(config.noise_scale),
+            shots=config.shots,
+            seed=int(rng.integers(0, 2**31)),
+        )
+        for num_qubits in range(low, high + 1):
+            for key_index in range(config.bv_keys_per_size):
+                secret_key = _random_secret_key(num_qubits, rng)
+                circuit = bernstein_vazirani(secret_key)
+                executable = _prepare_circuit(circuit, device, config)
+                ideal = simulate_statevector(executable).measurement_distribution()
+                noisy = sampler.run(executable, ideal=ideal)
+                records.append(
+                    CircuitRecord(
+                        record_id=f"bv-{device.name}-n{num_qubits}-k{key_index}",
+                        benchmark="bv",
+                        device=device.name,
+                        num_qubits=num_qubits,
+                        noisy_distribution=noisy,
+                        ideal_distribution=ideal,
+                        correct_outcomes=(bv_correct_outcome(secret_key),),
+                        metadata={"secret_key": secret_key, "depth": executable.depth()},
+                    )
+                )
+    return records
+
+
+def _qaoa_problem(
+    family: str, num_qubits: int, instance_index: int, rng: np.random.Generator
+) -> MaxCutProblem:
+    seed = int(rng.integers(0, 2**31))
+    if family == "3-regular":
+        # 3-regular graphs need an even node count; round odd sizes up.
+        nodes = num_qubits if num_qubits % 2 == 0 else num_qubits + 1
+        nodes = max(nodes, 4)
+        return regular_graph_problem(nodes, degree=3, seed=seed)
+    if family == "random":
+        density = float(rng.uniform(0.2, 0.8))
+        return erdos_renyi_problem(num_qubits, edge_probability=density, seed=seed)
+    raise DatasetError(f"unknown QAOA graph family {family!r}")
+
+
+def generate_qaoa_records(
+    config: IbmSuiteConfig | None = None,
+    devices: list[DeviceProfile] | None = None,
+    families: tuple[str, ...] = ("3-regular", "random"),
+) -> list[CircuitRecord]:
+    """Generate the QAOA rows of Table 2 (3-regular and random graphs)."""
+    config = config or small_table2_config()
+    devices = devices if devices is not None else default_ibm_devices()
+    rng = np.random.default_rng(config.seed + 1)
+    records: list[CircuitRecord] = []
+    low, high = config.qaoa_qubit_range
+    for device in devices:
+        sampler = NoisySampler(
+            noise_model=device.noise_model.scaled(config.noise_scale),
+            shots=config.shots,
+            seed=int(rng.integers(0, 2**31)),
+        )
+        for family in families:
+            for num_qubits in range(low, high + 1):
+                for instance_index in range(config.qaoa_instances_per_size):
+                    problem = _qaoa_problem(family, num_qubits, instance_index, rng)
+                    for num_layers in config.qaoa_layer_values:
+                        parameters = default_qaoa_parameters(num_layers)
+                        circuit = qaoa_circuit(problem, parameters)
+                        executable = _prepare_circuit(circuit, device, config)
+                        ideal = simulate_statevector(executable).measurement_distribution()
+                        noisy = sampler.run(executable, ideal=ideal)
+                        records.append(
+                            CircuitRecord(
+                                record_id=(
+                                    f"qaoa-{family}-{device.name}-n{problem.num_nodes}"
+                                    f"-p{num_layers}-i{instance_index}"
+                                ),
+                                benchmark="qaoa",
+                                device=device.name,
+                                num_qubits=problem.num_nodes,
+                                noisy_distribution=noisy,
+                                ideal_distribution=ideal,
+                                problem=problem,
+                                num_layers=num_layers,
+                                metadata={
+                                    "family": family,
+                                    "depth": executable.depth(),
+                                    "num_edges": problem.num_edges,
+                                },
+                            )
+                        )
+    return records
+
+
+def generate_ibm_suite(
+    config: IbmSuiteConfig | None = None,
+    devices: list[DeviceProfile] | None = None,
+) -> list[CircuitRecord]:
+    """Generate the full IBM suite (BV + both QAOA families)."""
+    config = config or small_table2_config()
+    return generate_bv_records(config, devices) + generate_qaoa_records(config, devices)
+
+
+def table2_summaries(records: list[CircuitRecord]) -> list[DatasetSummary]:
+    """Summarise a generated suite in the shape of Table 2."""
+    summaries: list[DatasetSummary] = []
+    bv_records = [r for r in records if r.benchmark == "bv"]
+    if bv_records:
+        sizes = [r.num_qubits for r in bv_records]
+        summaries.append(
+            DatasetSummary(
+                name="BV",
+                benchmark="Bernstein-Vazirani",
+                num_circuits=len(bv_records),
+                qubit_range=(min(sizes), max(sizes)),
+                layer_range=None,
+                figure_of_merit=("IST", "PST"),
+            )
+        )
+    for family, label in (("3-regular", "Maxcut on 3-Reg Graphs"), ("random", "Maxcut Rand Graphs")):
+        family_records = [
+            r for r in records if r.benchmark == "qaoa" and r.metadata.get("family") == family
+        ]
+        if not family_records:
+            continue
+        sizes = [r.num_qubits for r in family_records]
+        layers = [r.num_layers for r in family_records if r.num_layers is not None]
+        summaries.append(
+            DatasetSummary(
+                name="QAOA",
+                benchmark=label,
+                num_circuits=len(family_records),
+                qubit_range=(min(sizes), max(sizes)),
+                layer_range=(min(layers), max(layers)) if layers else None,
+                figure_of_merit=("CR", "PF"),
+            )
+        )
+    return summaries

@@ -1,0 +1,117 @@
+"""Record schema shared by the synthetic IBM and Google dataset emulators.
+
+The paper's evaluation consumes two experimental datasets (Tables 1 and 2):
+collections of circuits, each with the measured (noisy) histogram from the
+hardware plus enough metadata to score it (the BV secret key, or the max-cut
+problem graph).  We regenerate records of the same shape with the simulator,
+so every experiment module works identically whether the records come from
+the BV suite, the QAOA suite or the Google-style Sycamore dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.distribution import Distribution
+from repro.exceptions import DatasetError
+from repro.maxcut.cost import CutCostEvaluator
+from repro.maxcut.graphs import MaxCutProblem
+
+__all__ = ["CircuitRecord", "DatasetSummary"]
+
+
+@dataclass
+class CircuitRecord:
+    """One benchmark circuit execution: workload metadata + histograms.
+
+    Attributes
+    ----------
+    record_id:
+        Unique identifier within its dataset (e.g. ``"bv-paris-n7-k3"``).
+    benchmark:
+        Workload family: ``"bv"``, ``"ghz"``, ``"qaoa"`` or ``"random-identity"``.
+    device:
+        Name of the simulated device the noisy histogram comes from.
+    num_qubits:
+        Output width of the circuit.
+    noisy_distribution:
+        The simulated hardware histogram (the baseline HAMMER post-processes).
+    ideal_distribution:
+        Noise-free distribution of the same circuit.
+    correct_outcomes:
+        The correct answer set for single/multi-answer circuits (``None`` for
+        QAOA records, which are scored by cost instead).
+    problem:
+        The max-cut instance for QAOA records (``None`` otherwise).
+    num_layers:
+        QAOA depth ``p`` (``None`` for non-QAOA records).
+    metadata:
+        Free-form extra fields (secret key, graph family, depth, seeds, ...).
+    """
+
+    record_id: str
+    benchmark: str
+    device: str
+    num_qubits: int
+    noisy_distribution: Distribution
+    ideal_distribution: Distribution
+    correct_outcomes: tuple[str, ...] | None = None
+    problem: MaxCutProblem | None = None
+    num_layers: int | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.noisy_distribution.num_bits != self.num_qubits:
+            raise DatasetError(
+                f"record {self.record_id!r}: noisy distribution width "
+                f"{self.noisy_distribution.num_bits} != num_qubits {self.num_qubits}"
+            )
+        if self.ideal_distribution.num_bits != self.num_qubits:
+            raise DatasetError(
+                f"record {self.record_id!r}: ideal distribution width "
+                f"{self.ideal_distribution.num_bits} != num_qubits {self.num_qubits}"
+            )
+        if self.correct_outcomes is None and self.problem is None:
+            raise DatasetError(
+                f"record {self.record_id!r} needs correct_outcomes or a max-cut problem"
+            )
+
+    def cost_evaluator(self) -> CutCostEvaluator:
+        """Cut-cost evaluator for QAOA records (raises for non-QAOA records)."""
+        if self.problem is None:
+            raise DatasetError(f"record {self.record_id!r} has no max-cut problem attached")
+        return CutCostEvaluator(self.problem)
+
+    def reference_outcomes(self) -> tuple[str, ...]:
+        """Correct outcomes for Hamming-structure analysis.
+
+        For QAOA records the optimal cuts of the problem instance are used
+        (the paper measures Hamming distance to the desired cuts).
+        """
+        if self.correct_outcomes is not None:
+            return self.correct_outcomes
+        return self.cost_evaluator().optimal_cuts()
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Composition summary of a generated dataset (mirrors Tables 1 and 2)."""
+
+    name: str
+    benchmark: str
+    num_circuits: int
+    qubit_range: tuple[int, int]
+    layer_range: tuple[int, int] | None
+    figure_of_merit: tuple[str, ...]
+
+    def as_row(self) -> dict[str, Any]:
+        """Render as a flat dict (one row of the reproduced table)."""
+        return {
+            "name": self.name,
+            "benchmark": self.benchmark,
+            "num_circuits": self.num_circuits,
+            "qubits": f"{self.qubit_range[0]}-{self.qubit_range[1]}",
+            "layers": "-" if self.layer_range is None else f"{self.layer_range[0]}-{self.layer_range[1]}",
+            "figure_of_merit": ", ".join(self.figure_of_merit),
+        }

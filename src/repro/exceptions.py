@@ -1,0 +1,52 @@
+"""Exception hierarchy for the HAMMER reproduction package.
+
+All package-specific errors derive from :class:`ReproError` so callers can
+catch a single exception type at API boundaries while still being able to
+distinguish configuration problems from numerical/validation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class BitstringError(ReproError):
+    """Raised when a bitstring is malformed (wrong alphabet or width)."""
+
+
+class DistributionError(ReproError):
+    """Raised when an outcome distribution is invalid.
+
+    Examples include empty distributions, negative probabilities, or
+    mixing outcomes of different bit widths.
+    """
+
+
+class CircuitError(ReproError):
+    """Raised for invalid circuit construction or execution requests."""
+
+
+class NoiseModelError(ReproError):
+    """Raised when a noise channel or noise model is misconfigured."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a circuit cannot be mapped onto a target device."""
+
+
+class DeviceError(ReproError):
+    """Raised when a device profile is malformed or unknown."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid max-cut problem graphs."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment is configured inconsistently."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset request cannot be satisfied."""

@@ -1,0 +1,171 @@
+"""Expected-Hamming-Distance scaling studies (Figures 1(b) and 12).
+
+The paper shows that the EHD of noisy output distributions grows with circuit
+size much more slowly than the uniform-error model's ``n/2``, and that BV
+loses structure faster than QAOA because its depth grows super-linearly.
+This module sweeps circuit width for each workload family and records EHD
+against the uniform-error reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.bv import bernstein_vazirani, bv_secret_key
+from repro.circuits.qaoa import default_qaoa_parameters, qaoa_circuit
+from repro.core.spectrum import expected_hamming_distance, uniform_model_ehd
+from repro.experiments.runner import ExperimentReport
+from repro.exceptions import ExperimentError
+from repro.maxcut.cost import CutCostEvaluator
+from repro.maxcut.graphs import grid_graph_problem, regular_graph_problem
+from repro.quantum.device import DeviceProfile, google_sycamore, ibm_paris
+from repro.quantum.sampler import NoisySampler
+from repro.quantum.statevector import simulate_statevector
+from repro.quantum.transpiler import transpile
+
+__all__ = ["EhdStudyConfig", "run_ehd_scaling", "run_ehd_dataset_comparison"]
+
+
+@dataclass(frozen=True)
+class EhdStudyConfig:
+    """Sweep parameters for the EHD scaling studies.
+
+    Attributes
+    ----------
+    qubit_values:
+        Circuit widths to sweep.
+    shots:
+        Trials per circuit.
+    noise_scale:
+        Multiplier on the device noise model.
+    transpile_circuits:
+        Route + decompose before sampling.
+    seed:
+        RNG seed.
+    """
+
+    qubit_values: tuple[int, ...] = (6, 8, 10, 12, 14, 16)
+    shots: int = 8192
+    noise_scale: float = 1.0
+    transpile_circuits: bool = True
+    seed: int = 12
+
+    def __post_init__(self) -> None:
+        if not self.qubit_values:
+            raise ExperimentError("qubit_values must not be empty")
+        if self.shots <= 0:
+            raise ExperimentError("shots must be positive")
+
+
+def _sample(circuit, device: DeviceProfile, config: EhdStudyConfig, seed: int):
+    sampler = NoisySampler(
+        noise_model=device.noise_model.scaled(config.noise_scale),
+        shots=config.shots,
+        seed=seed,
+    )
+    if config.transpile_circuits:
+        transpiled = transpile(circuit, coupling_map=device.coupling_map, basis_gates=device.basis_gates)
+        ideal = simulate_statevector(transpiled.circuit).measurement_distribution()
+        return sampler.run(transpiled.circuit, ideal=ideal).mapped(transpiled.measurement_permutation())
+    ideal = simulate_statevector(circuit).measurement_distribution()
+    return sampler.run(circuit, ideal=ideal)
+
+
+def _qaoa_workload(num_qubits: int, num_layers: int, family: str, seed: int):
+    """Build a QAOA circuit and its correct (optimal-cut) outcomes."""
+    if family == "grid":
+        problem = grid_graph_problem(num_qubits, seed=seed)
+    else:
+        nodes = num_qubits if num_qubits % 2 == 0 else num_qubits + 1
+        problem = regular_graph_problem(nodes, degree=3, seed=seed)
+    circuit = qaoa_circuit(problem, default_qaoa_parameters(num_layers))
+    correct = list(CutCostEvaluator(problem).optimal_cuts())
+    return circuit, correct, problem.num_nodes
+
+
+def run_ehd_scaling(
+    workload: str = "qaoa-p2",
+    config: EhdStudyConfig | None = None,
+    device: DeviceProfile | None = None,
+) -> ExperimentReport:
+    """Figure 1(b) / 12(a): EHD vs number of qubits for one workload family.
+
+    Supported workloads: ``"bv"``, ``"qaoa-p2"``, ``"qaoa-p4"``,
+    ``"grid-qaoa-p4"``, ``"3reg-qaoa-p3"``.
+    """
+    config = config or EhdStudyConfig()
+    device = device or ibm_paris()
+    rng = np.random.default_rng(config.seed)
+    rows = []
+    for num_qubits in config.qubit_values:
+        seed = int(rng.integers(0, 2**31))
+        if workload == "bv":
+            key = bv_secret_key(num_qubits, "ones")
+            circuit, correct, width = bernstein_vazirani(key), [key], num_qubits
+        elif workload in ("qaoa-p2", "qaoa-p4"):
+            layers = 2 if workload.endswith("p2") else 4
+            circuit, correct, width = _qaoa_workload(num_qubits, layers, "3-regular", seed)
+        elif workload == "grid-qaoa-p4":
+            circuit, correct, width = _qaoa_workload(num_qubits, 4, "grid", seed)
+        elif workload == "3reg-qaoa-p3":
+            circuit, correct, width = _qaoa_workload(num_qubits, 3, "3-regular", seed)
+        else:
+            raise ExperimentError(f"unknown workload {workload!r}")
+        noisy = _sample(circuit, device, config, seed)
+        ehd = expected_hamming_distance(noisy, correct)
+        rows.append(
+            {
+                "workload": workload,
+                "num_qubits": width,
+                "ehd": ehd,
+                "uniform_ehd": uniform_model_ehd(width),
+                "structure_gap": uniform_model_ehd(width) - ehd,
+            }
+        )
+    report = ExperimentReport(name=f"ehd_scaling_{workload}", rows=rows)
+    report.summary["mean_ehd"] = float(np.mean([r["ehd"] for r in rows]))
+    report.summary["mean_uniform_ehd"] = float(np.mean([r["uniform_ehd"] for r in rows]))
+    report.summary["fraction_below_uniform"] = float(
+        np.mean([1.0 if r["ehd"] < r["uniform_ehd"] else 0.0 for r in rows])
+    )
+    return report
+
+
+def run_ehd_dataset_comparison(
+    config: EhdStudyConfig | None = None,
+) -> ExperimentReport:
+    """Figure 12: EHD vs qubits for the IBM (BV, QAOA p=2/p=4) and Google workloads."""
+    config = config or EhdStudyConfig()
+    ibm_device = ibm_paris()
+    google_device = google_sycamore()
+    rows: list[dict[str, object]] = []
+    for workload, device in (
+        ("bv", ibm_device),
+        ("qaoa-p2", ibm_device),
+        ("qaoa-p4", ibm_device),
+        ("3reg-qaoa-p3", google_device),
+        ("grid-qaoa-p4", google_device),
+    ):
+        sub_report = run_ehd_scaling(workload, config=config, device=device)
+        for row in sub_report.rows:
+            row = dict(row)
+            row["device"] = device.name
+            rows.append(row)
+    report = ExperimentReport(name="figure12_ehd_datasets", rows=rows)
+    report.summary["fraction_below_uniform"] = float(
+        np.mean([1.0 if r["ehd"] < r["uniform_ehd"] else 0.0 for r in rows])
+    )
+    bv_rows = [r for r in rows if r["workload"] == "bv"]
+    qaoa_rows = [r for r in rows if r["workload"] == "qaoa-p2"]
+    if bv_rows and qaoa_rows:
+        bv_slope = (bv_rows[-1]["ehd"] - bv_rows[0]["ehd"]) / max(
+            1, bv_rows[-1]["num_qubits"] - bv_rows[0]["num_qubits"]
+        )
+        qaoa_slope = (qaoa_rows[-1]["ehd"] - qaoa_rows[0]["ehd"]) / max(
+            1, qaoa_rows[-1]["num_qubits"] - qaoa_rows[0]["num_qubits"]
+        )
+        report.summary["bv_ehd_slope"] = float(bv_slope)
+        report.summary["qaoa_p2_ehd_slope"] = float(qaoa_slope)
+    return report

@@ -1,0 +1,174 @@
+"""QAOA quality-of-solution experiments (Figure 9 and Section 6.4).
+
+* :func:`run_cost_ratio_scurve` — Figure 9(a)/(c): per-instance Cost Ratio of
+  the baseline and of HAMMER over a dataset of QAOA records, sorted to form
+  the paper's S-curve.
+* :func:`run_quality_distribution_example` — Figure 9(b)/(d): for one
+  instance, the cumulative probability of solutions at each quality level
+  ``C_sol / C_min`` for baseline vs HAMMER.
+* :func:`run_ibm_qaoa_study` — Section 6.4 "Results on IBM Dataset": average
+  TVD reduction and CR improvement over the IBM QAOA records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hammer import HammerConfig, hammer
+from repro.datasets.google_qaoa import GoogleDatasetConfig, generate_google_dataset, small_table1_config
+from repro.datasets.ibm_suite import IbmSuiteConfig, generate_qaoa_records, small_table2_config
+from repro.datasets.records import CircuitRecord
+from repro.experiments.runner import ExperimentReport, gmean_of_ratios
+from repro.exceptions import ExperimentError
+from repro.metrics.fidelity import relative_improvement, total_variation_distance
+from repro.metrics.qaoa_metrics import cost_ratio, cumulative_quality_probability, solution_quality_curve
+
+__all__ = [
+    "run_cost_ratio_scurve",
+    "run_quality_distribution_example",
+    "run_ibm_qaoa_study",
+]
+
+
+def _score_record(record: CircuitRecord, hammer_config: HammerConfig | None) -> dict[str, object]:
+    """Cost-ratio comparison (baseline vs HAMMER) for one QAOA record."""
+    evaluator = record.cost_evaluator()
+    minimum_cost = evaluator.minimum_cost()
+    baseline = record.noisy_distribution
+    reconstructed = hammer(baseline, hammer_config)
+    baseline_cr = cost_ratio(baseline, evaluator.cost, minimum_cost)
+    hammer_cr = cost_ratio(reconstructed, evaluator.cost, minimum_cost)
+    ideal_cr = cost_ratio(record.ideal_distribution, evaluator.cost, minimum_cost)
+    return {
+        "record_id": record.record_id,
+        "family": record.metadata.get("family", "unknown"),
+        "num_qubits": record.num_qubits,
+        "num_layers": record.num_layers,
+        "ideal_cr": ideal_cr,
+        "baseline_cr": baseline_cr,
+        "hammer_cr": hammer_cr,
+        "cr_improvement": relative_improvement(max(baseline_cr, 1e-9), max(hammer_cr, 1e-9)),
+        "hammer_wins": hammer_cr >= baseline_cr,
+    }
+
+
+def run_cost_ratio_scurve(
+    records: list[CircuitRecord] | None = None,
+    family: str = "3-regular",
+    config: GoogleDatasetConfig | None = None,
+    hammer_config: HammerConfig | None = None,
+) -> ExperimentReport:
+    """Figure 9(a)/(c): Cost-Ratio S-curve for one Google-dataset graph family."""
+    if records is None:
+        records = generate_google_dataset(config or small_table1_config())
+    selected = [
+        r for r in records if r.benchmark == "qaoa" and r.metadata.get("family", family) == family
+    ]
+    if not selected:
+        raise ExperimentError(f"no QAOA records for family {family!r}")
+    rows = [_score_record(record, hammer_config) for record in selected]
+    rows.sort(key=lambda row: row["baseline_cr"])
+    for index, row in enumerate(rows):
+        row["instance_rank"] = index
+    report = ExperimentReport(name=f"figure9_cr_scurve_{family}", rows=rows)
+    report.summary["num_instances"] = float(len(rows))
+    report.summary["mean_baseline_cr"] = float(np.mean([r["baseline_cr"] for r in rows]))
+    report.summary["mean_hammer_cr"] = float(np.mean([r["hammer_cr"] for r in rows]))
+    report.summary["mean_ideal_cr"] = float(np.mean([r["ideal_cr"] for r in rows]))
+    report.summary["gmean_cr_improvement"] = gmean_of_ratios(rows, "cr_improvement")
+    report.summary["fraction_improved"] = float(np.mean([1.0 if r["hammer_wins"] else 0.0 for r in rows]))
+    report.summary["max_cr_improvement"] = float(max(r["cr_improvement"] for r in rows))
+    return report
+
+
+def run_quality_distribution_example(
+    records: list[CircuitRecord] | None = None,
+    target_qubits: int = 10,
+    family: str = "3-regular",
+    config: GoogleDatasetConfig | None = None,
+    hammer_config: HammerConfig | None = None,
+) -> ExperimentReport:
+    """Figure 9(b)/(d): cumulative probability vs solution quality for one instance."""
+    if records is None:
+        records = generate_google_dataset(config or small_table1_config())
+    candidates = [
+        r
+        for r in records
+        if r.benchmark == "qaoa"
+        and r.metadata.get("family") == family
+        and r.num_qubits >= target_qubits
+    ] or [r for r in records if r.benchmark == "qaoa"]
+    if not candidates:
+        raise ExperimentError("no QAOA records available")
+    record = min(candidates, key=lambda r: abs(r.num_qubits - target_qubits))
+    evaluator = record.cost_evaluator()
+    minimum_cost = evaluator.minimum_cost()
+    baseline = record.noisy_distribution
+    reconstructed = hammer(baseline, hammer_config)
+    rows = []
+    for label, distribution in (("baseline", baseline), ("hammer", reconstructed)):
+        for point in solution_quality_curve(distribution, evaluator.cost, minimum_cost):
+            rows.append(
+                {
+                    "distribution": label,
+                    "quality": point.quality,
+                    "probability": point.probability,
+                    "cumulative_probability": point.cumulative_probability,
+                }
+            )
+    report = ExperimentReport(name=f"figure9b_quality_distribution_{record.record_id}", rows=rows)
+    report.summary["baseline_optimal_mass"] = cumulative_quality_probability(
+        baseline, evaluator.cost, minimum_cost
+    )
+    report.summary["hammer_optimal_mass"] = cumulative_quality_probability(
+        reconstructed, evaluator.cost, minimum_cost
+    )
+    report.summary["optimal_mass_gain"] = (
+        report.summary["hammer_optimal_mass"] - report.summary["baseline_optimal_mass"]
+    )
+    return report
+
+
+def run_ibm_qaoa_study(
+    records: list[CircuitRecord] | None = None,
+    config: IbmSuiteConfig | None = None,
+    hammer_config: HammerConfig | None = None,
+) -> ExperimentReport:
+    """Section 6.4 (IBM dataset): TVD decrease and CR increase from HAMMER."""
+    if records is None:
+        records = generate_qaoa_records(config or small_table2_config())
+    qaoa_records = [r for r in records if r.benchmark == "qaoa"]
+    if not qaoa_records:
+        raise ExperimentError("no IBM QAOA records available")
+    rows = []
+    for record in qaoa_records:
+        evaluator = record.cost_evaluator()
+        minimum_cost = evaluator.minimum_cost()
+        baseline = record.noisy_distribution
+        reconstructed = hammer(baseline, hammer_config)
+        baseline_tvd = total_variation_distance(baseline, record.ideal_distribution)
+        hammer_tvd = total_variation_distance(reconstructed, record.ideal_distribution)
+        baseline_cr = cost_ratio(baseline, evaluator.cost, minimum_cost)
+        hammer_cr = cost_ratio(reconstructed, evaluator.cost, minimum_cost)
+        rows.append(
+            {
+                "record_id": record.record_id,
+                "device": record.device,
+                "num_qubits": record.num_qubits,
+                "num_layers": record.num_layers,
+                "baseline_tvd": baseline_tvd,
+                "hammer_tvd": hammer_tvd,
+                "tvd_reduction": relative_improvement(max(hammer_tvd, 1e-9), max(baseline_tvd, 1e-9)),
+                "baseline_cr": baseline_cr,
+                "hammer_cr": hammer_cr,
+                "cr_improvement": relative_improvement(max(baseline_cr, 1e-9), max(hammer_cr, 1e-9)),
+            }
+        )
+    report = ExperimentReport(name="section64_ibm_qaoa", rows=rows)
+    report.summary["num_circuits"] = float(len(rows))
+    report.summary["mean_tvd_reduction"] = float(np.mean([r["tvd_reduction"] for r in rows]))
+    report.summary["mean_cr_improvement"] = float(np.mean([r["cr_improvement"] for r in rows]))
+    report.summary["gmean_cr_improvement"] = gmean_of_ratios(rows, "cr_improvement")
+    return report

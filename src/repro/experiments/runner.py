@@ -1,0 +1,81 @@
+"""Shared helpers for the experiment modules.
+
+Every experiment module produces a list of flat row dictionaries (one per
+data point of the corresponding paper figure/table).  The helpers here format
+those rows for the CLI / benchmark output and compute the summary statistics
+(geometric-mean improvements) the paper quotes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import ExperimentError
+from repro.metrics.fidelity import geometric_mean
+
+__all__ = ["ExperimentReport", "format_table", "gmean_of_ratios"]
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], float_format: str = "{:.4f}") -> str:
+    """Render rows as a fixed-width text table (used by the CLI and benches)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered_row = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                rendered_row.append(float_format.format(value))
+            else:
+                rendered_row.append(str(value))
+        rendered.append(rendered_row)
+    widths = [max(len(column), max(len(r[i]) for r in rendered)) for i, column in enumerate(columns)]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered)
+    return f"{header}\n{separator}\n{body}"
+
+
+def gmean_of_ratios(rows: Iterable[Mapping[str, Any]], ratio_key: str) -> float:
+    """Geometric mean of a ratio column across experiment rows."""
+    values = [float(row[ratio_key]) for row in rows if ratio_key in row]
+    if not values:
+        raise ExperimentError(f"no rows contain the ratio column {ratio_key!r}")
+    return geometric_mean(values)
+
+
+@dataclass
+class ExperimentReport:
+    """A named experiment result: rows plus headline summary numbers.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"figure8_bv_improvement"``).
+    rows:
+        One flat dictionary per data point of the reproduced figure/table.
+    summary:
+        Headline scalars (e.g. ``{"gmean_pst_improvement": 1.41}``).
+    """
+
+    name: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    summary: dict[str, float] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Human-readable rendering: summary block followed by the row table."""
+        lines = [f"== {self.name} =="]
+        for key, value in self.summary.items():
+            lines.append(f"{key}: {value:.4f}" if isinstance(value, float) else f"{key}: {value}")
+        lines.append(format_table(self.rows))
+        return "\n".join(lines)
+
+    def summary_value(self, key: str) -> float:
+        """Fetch one headline number, raising a clear error when missing."""
+        if key not in self.summary:
+            raise ExperimentError(f"report {self.name!r} has no summary value {key!r}")
+        return self.summary[key]

@@ -1,0 +1,90 @@
+"""Headline result: average quality-of-solution improvement across the suites.
+
+The paper's abstract quotes a 1.37x average improvement in quality of
+solution over more than 500 circuits (IBM + Google).  This module aggregates
+the per-suite experiments into that single number: PST improvement for BV
+records and Cost-Ratio improvement for QAOA records, combined with a
+geometric mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hammer import HammerConfig, hammer
+from repro.datasets.google_qaoa import GoogleDatasetConfig, generate_google_dataset, small_table1_config
+from repro.datasets.ibm_suite import IbmSuiteConfig, generate_ibm_suite, small_table2_config
+from repro.datasets.records import CircuitRecord
+from repro.experiments.runner import ExperimentReport
+from repro.exceptions import ExperimentError
+from repro.metrics.fidelity import (
+    geometric_mean,
+    probability_of_successful_trial,
+    relative_improvement,
+)
+from repro.metrics.qaoa_metrics import cost_ratio
+
+__all__ = ["run_headline_summary", "score_quality_improvement"]
+
+
+def score_quality_improvement(
+    record: CircuitRecord, hammer_config: HammerConfig | None = None
+) -> dict[str, object]:
+    """Quality-of-solution improvement for one record.
+
+    BV/GHZ-style records are scored by PST; QAOA records by Cost Ratio.
+    """
+    baseline = record.noisy_distribution
+    reconstructed = hammer(baseline, hammer_config)
+    if record.problem is not None:
+        evaluator = record.cost_evaluator()
+        minimum_cost = evaluator.minimum_cost()
+        baseline_quality = cost_ratio(baseline, evaluator.cost, minimum_cost)
+        hammer_quality = cost_ratio(reconstructed, evaluator.cost, minimum_cost)
+        metric = "cost_ratio"
+    else:
+        correct = record.correct_outcomes or ()
+        baseline_quality = probability_of_successful_trial(baseline, correct)
+        hammer_quality = probability_of_successful_trial(reconstructed, correct)
+        metric = "pst"
+    improvement = relative_improvement(max(baseline_quality, 1e-9), max(hammer_quality, 1e-9))
+    return {
+        "record_id": record.record_id,
+        "benchmark": record.benchmark,
+        "device": record.device,
+        "num_qubits": record.num_qubits,
+        "metric": metric,
+        "baseline_quality": float(baseline_quality),
+        "hammer_quality": float(hammer_quality),
+        "improvement": float(improvement),
+    }
+
+
+def run_headline_summary(
+    ibm_config: IbmSuiteConfig | None = None,
+    google_config: GoogleDatasetConfig | None = None,
+    records: list[CircuitRecord] | None = None,
+    hammer_config: HammerConfig | None = None,
+) -> ExperimentReport:
+    """Aggregate the average quality-of-solution improvement across all suites."""
+    if records is None:
+        records = generate_ibm_suite(ibm_config or small_table2_config()) + generate_google_dataset(
+            google_config or small_table1_config()
+        )
+    if not records:
+        raise ExperimentError("no records to summarise")
+    rows = [score_quality_improvement(record, hammer_config) for record in records]
+    report = ExperimentReport(name="headline_quality_improvement", rows=rows)
+    improvements = [row["improvement"] for row in rows]
+    report.summary["num_circuits"] = float(len(rows))
+    report.summary["gmean_quality_improvement"] = geometric_mean(improvements)
+    report.summary["mean_quality_improvement"] = float(np.mean(improvements))
+    report.summary["fraction_improved"] = float(
+        np.mean([1.0 if value >= 1.0 else 0.0 for value in improvements])
+    )
+    for benchmark in sorted({row["benchmark"] for row in rows}):
+        subset = [row["improvement"] for row in rows if row["benchmark"] == benchmark]
+        report.summary[f"gmean_improvement_{benchmark}"] = geometric_mean(subset)
+    return report

@@ -1,0 +1,142 @@
+"""Cut-cost evaluation for max-cut instances.
+
+Cost convention (matching the paper and Harrigan et al.): max-cut is phrased
+as minimisation of the Ising cost
+
+    C(z) = Σ_{(i,j) ∈ E} w_ij · z_i · z_j,   z_k = +1 if bit k is 0 else -1,
+
+so an edge *cut* by the assignment contributes ``-w_ij`` and the best cut has
+the lowest (most negative) cost.  ``C_sol / C_min`` is therefore 1 for an
+optimal cut and decreases — possibly below zero — for worse assignments,
+exactly the x-axis of Figure 9(b)/(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.bitstring import int_to_bitstring, validate_bitstring
+from repro.exceptions import GraphError
+from repro.maxcut.graphs import MaxCutProblem
+
+__all__ = ["CutCostEvaluator", "cut_cost", "cut_size"]
+
+
+def cut_cost(problem: MaxCutProblem, bitstring: str) -> float:
+    """Ising cost of one assignment (lower is better; optimal cuts are negative)."""
+    return CutCostEvaluator(problem).cost(bitstring)
+
+
+def cut_size(problem: MaxCutProblem, bitstring: str) -> float:
+    """Total weight of edges cut by the assignment (higher is better)."""
+    return CutCostEvaluator(problem).cut_value(bitstring)
+
+
+@dataclass
+class CutCostEvaluator:
+    """Vectorised cost evaluation plus exact extrema for one max-cut instance.
+
+    The evaluator pre-extracts the edge list once, so per-bitstring cost is
+    ``O(|E|)``; exact minimum/maximum cost and the set of optimal cuts are
+    found by enumerating all ``2**n`` assignments (cached), which is feasible
+    for the paper's instance sizes (n ≤ 24).
+    """
+
+    problem: MaxCutProblem
+
+    def __post_init__(self) -> None:
+        edges = self.problem.edges()
+        if not edges:
+            raise GraphError("max-cut instance has no edges")
+        self._edge_u = np.array([u for u, _, _ in edges], dtype=int)
+        self._edge_v = np.array([v for _, v, _ in edges], dtype=int)
+        self._edge_w = np.array([w for _, _, w in edges], dtype=float)
+        self._extrema: tuple[float, float, tuple[str, ...]] | None = None
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of graph nodes (bit width of assignments)."""
+        return self.problem.num_nodes
+
+    # ------------------------------------------------------------------
+    # Per-assignment evaluation
+    # ------------------------------------------------------------------
+    def _spins(self, bitstring: str) -> np.ndarray:
+        validate_bitstring(bitstring, num_bits=self.num_nodes)
+        bits = np.frombuffer(bitstring.encode("ascii"), dtype=np.uint8) - ord("0")
+        return 1.0 - 2.0 * bits.astype(float)
+
+    def cost(self, bitstring: str) -> float:
+        """Ising cost ``Σ w_ij z_i z_j`` of the assignment (lower is better)."""
+        spins = self._spins(bitstring)
+        return float(np.sum(self._edge_w * spins[self._edge_u] * spins[self._edge_v]))
+
+    def cut_value(self, bitstring: str) -> float:
+        """Total weight of cut edges (``w_ij`` counted when bits differ)."""
+        spins = self._spins(bitstring)
+        crossing = spins[self._edge_u] * spins[self._edge_v] < 0
+        return float(np.sum(self._edge_w[crossing]))
+
+    def cost_function(self):
+        """Return ``self.cost`` as a plain callable for the metrics module."""
+        return self.cost
+
+    # ------------------------------------------------------------------
+    # Exact extrema (brute force over all assignments)
+    # ------------------------------------------------------------------
+    def _all_costs(self) -> np.ndarray:
+        num_nodes = self.num_nodes
+        if num_nodes > 24:
+            raise GraphError("exact enumeration limited to 24 nodes")
+        indices = np.arange(1 << num_nodes, dtype=np.int64)
+        # bits[:, k] is bit k (MSB first) of each assignment.
+        shifts = np.arange(num_nodes - 1, -1, -1, dtype=np.int64)
+        bits = (indices[:, None] >> shifts[None, :]) & 1
+        spins = 1.0 - 2.0 * bits.astype(float)
+        return (spins[:, self._edge_u] * spins[:, self._edge_v]) @ self._edge_w
+
+    def _compute_extrema(self) -> tuple[float, float, tuple[str, ...]]:
+        if self._extrema is None:
+            costs = self._all_costs()
+            minimum = float(costs.min())
+            maximum = float(costs.max())
+            optimal_indices = np.nonzero(np.isclose(costs, minimum, atol=1e-9))[0]
+            optimal = tuple(
+                int_to_bitstring(int(index), self.num_nodes) for index in optimal_indices
+            )
+            self._extrema = (minimum, maximum, optimal)
+        return self._extrema
+
+    def minimum_cost(self) -> float:
+        """Exact lowest (best) cost ``C_min``."""
+        return self._compute_extrema()[0]
+
+    def maximum_cost(self) -> float:
+        """Exact highest (worst) cost."""
+        return self._compute_extrema()[1]
+
+    def optimal_cuts(self) -> tuple[str, ...]:
+        """All assignments achieving ``C_min`` (the paper's "desired cuts")."""
+        return self._compute_extrema()[2]
+
+    # ------------------------------------------------------------------
+    # Neighbourhood analysis (Figure 5)
+    # ------------------------------------------------------------------
+    def costs_at_hamming_distance(self, distance: int) -> list[float]:
+        """Costs of every assignment exactly ``distance`` bit flips away from any optimal cut."""
+        from repro.core.bitstring import neighbors_at_distance
+
+        if distance < 0 or distance > self.num_nodes:
+            raise GraphError(f"distance {distance} out of range [0, {self.num_nodes}]")
+        seen: set[str] = set()
+        costs: list[float] = []
+        for optimum in self.optimal_cuts():
+            for neighbor in neighbors_at_distance(optimum, distance):
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                costs.append(self.cost(neighbor))
+        return costs

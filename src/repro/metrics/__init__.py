@@ -1,0 +1,51 @@
+"""Figures of merit: PST, IST, TVD, Cost Ratio and Hamming-structure metrics."""
+
+from repro.metrics.fidelity import (
+    classical_fidelity,
+    correct_outcome_rank,
+    geometric_mean,
+    hellinger_distance,
+    inference_is_correct,
+    inference_strength,
+    probability_of_successful_trial,
+    relative_improvement,
+    total_variation_distance,
+)
+from repro.metrics.hamming_metrics import (
+    HammingStructureSummary,
+    cluster_density,
+    spearman_correlation,
+    structure_ratio,
+    summarize_hamming_structure,
+)
+from repro.metrics.qaoa_metrics import (
+    QualityCurvePoint,
+    approximation_ratio,
+    cost_ratio,
+    cumulative_quality_probability,
+    expected_cost,
+    solution_quality_curve,
+)
+
+__all__ = [
+    "classical_fidelity",
+    "correct_outcome_rank",
+    "geometric_mean",
+    "hellinger_distance",
+    "inference_is_correct",
+    "inference_strength",
+    "probability_of_successful_trial",
+    "relative_improvement",
+    "total_variation_distance",
+    "HammingStructureSummary",
+    "cluster_density",
+    "spearman_correlation",
+    "structure_ratio",
+    "summarize_hamming_structure",
+    "QualityCurvePoint",
+    "approximation_ratio",
+    "cost_ratio",
+    "cumulative_quality_probability",
+    "expected_cost",
+    "solution_quality_curve",
+]

@@ -1,0 +1,303 @@
+"""Quantum circuit representation.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`Instruction` objects
+over a fixed number of qubits.  It supports the gate set registered in
+:mod:`repro.quantum.gates`, structural queries (depth, gate counts, two-qubit
+gate count) used by the noise model and the Section-7 studies, circuit
+inversion (for the H·U·U†·H benchmark family) and composition.
+
+The circuit is purely a description; execution lives in
+:mod:`repro.quantum.statevector` and :mod:`repro.quantum.sampler`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum.gates import gate_definition
+
+__all__ = ["Instruction", "QuantumCircuit"]
+
+#: Gates whose inverse is themselves with negated parameters.
+_PARAM_NEGATE_INVERSE = {"rx", "ry", "rz", "p", "rzz", "cp"}
+#: Fixed-gate inverses that are a different registry gate.
+_FIXED_INVERSE = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t", "iswap": "iswap"}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single gate application.
+
+    Attributes
+    ----------
+    name:
+        Registry name of the gate (lower case).
+    qubits:
+        Qubit indices the gate acts on, in gate order (control first for
+        controlled gates).
+    params:
+        Real gate parameters (empty for fixed gates).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default_factory=tuple)
+
+    @property
+    def num_qubits(self) -> int:
+        """Arity of the instruction."""
+        return len(self.qubits)
+
+    def matrix(self) -> np.ndarray:
+        """Unitary matrix of this instruction."""
+        return gate_definition(self.name).matrix(self.params)
+
+    def inverse(self) -> "Instruction":
+        """Return the instruction implementing the inverse unitary."""
+        if self.name in _PARAM_NEGATE_INVERSE:
+            return Instruction(self.name, self.qubits, tuple(-p for p in self.params))
+        if self.name in _FIXED_INVERSE:
+            if self.name == "iswap":
+                raise CircuitError("iswap inverse is not in the gate registry")
+            return Instruction(_FIXED_INVERSE[self.name], self.qubits, self.params)
+        definition = gate_definition(self.name)
+        if definition.hermitian:
+            return Instruction(self.name, self.qubits, self.params)
+        if self.name == "u3":
+            theta, phi, lam = self.params
+            return Instruction("u3", self.qubits, (-theta, -lam, -phi))
+        if self.name == "sx":
+            # sx† = rz-free decomposition: sx·sx = x, so sx† = sx·x... keep it simple:
+            # use the parametric rx(-pi/2) up to global phase.
+            return Instruction("rx", self.qubits, (-np.pi / 2,))
+        raise CircuitError(f"no inverse rule for gate {self.name!r}")
+
+
+class QuantumCircuit:
+    """An ordered sequence of gate instructions on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits <= 0:
+            raise CircuitError(f"num_qubits must be positive, got {num_qubits}")
+        self.num_qubits = num_qubits
+        self.name = name
+        self.instructions: list[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> "QuantumCircuit":
+        """Append a gate by registry name; returns ``self`` for chaining."""
+        definition = gate_definition(name)
+        qubit_tuple = tuple(int(q) for q in qubits)
+        if len(qubit_tuple) != definition.num_qubits:
+            raise CircuitError(
+                f"gate {name!r} acts on {definition.num_qubits} qubit(s), got {len(qubit_tuple)}"
+            )
+        if len(set(qubit_tuple)) != len(qubit_tuple):
+            raise CircuitError(f"gate {name!r} applied to duplicate qubits {qubit_tuple}")
+        for qubit in qubit_tuple:
+            if not 0 <= qubit < self.num_qubits:
+                raise CircuitError(
+                    f"qubit index {qubit} out of range for a {self.num_qubits}-qubit circuit"
+                )
+        param_tuple = tuple(float(p) for p in params)
+        if len(param_tuple) != definition.num_params:
+            raise CircuitError(
+                f"gate {name!r} expects {definition.num_params} parameter(s), got {len(param_tuple)}"
+            )
+        self.instructions.append(Instruction(definition.name, qubit_tuple, param_tuple))
+        return self
+
+    # Convenience wrappers for common gates --------------------------------
+    def id(self, qubit: int) -> "QuantumCircuit":
+        """Identity (used to mark idle periods)."""
+        return self.append("id", [qubit])
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-X gate."""
+        return self.append("x", [qubit])
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-Y gate."""
+        return self.append("y", [qubit])
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-Z gate."""
+        return self.append("z", [qubit])
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        """Hadamard gate."""
+        return self.append("h", [qubit])
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        """Phase gate S."""
+        return self.append("s", [qubit])
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        """Inverse phase gate S†."""
+        return self.append("sdg", [qubit])
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        """T gate."""
+        return self.append("t", [qubit])
+
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        """Square-root-of-X gate."""
+        return self.append("sx", [qubit])
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """X-rotation by ``theta``."""
+        return self.append("rx", [qubit], [theta])
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Y-rotation by ``theta``."""
+        return self.append("ry", [qubit], [theta])
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Z-rotation by ``theta``."""
+        return self.append("rz", [qubit], [theta])
+
+    def p(self, lam: float, qubit: int) -> "QuantumCircuit":
+        """Phase gate by angle ``lam``."""
+        return self.append("p", [qubit], [lam])
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        """General single-qubit rotation."""
+        return self.append("u3", [qubit], [theta, phi, lam])
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-NOT gate."""
+        return self.append("cx", [control, target])
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-Z gate."""
+        return self.append("cz", [control, target])
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """SWAP gate."""
+        return self.append("swap", [qubit_a, qubit_b])
+
+    def rzz(self, theta: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """Two-qubit ZZ interaction ``exp(-i theta/2 Z⊗Z)``."""
+        return self.append("rzz", [qubit_a, qubit_b], [theta])
+
+    def cp(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled phase gate."""
+        return self.append("cp", [control, target], [lam])
+
+    def barrier(self) -> "QuantumCircuit":
+        """No-op structural marker (kept for API familiarity; not stored)."""
+        return self
+
+    # ------------------------------------------------------------------
+    # Composition and transformation
+    # ------------------------------------------------------------------
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return a new circuit running ``self`` followed by ``other``."""
+        if other.num_qubits != self.num_qubits:
+            raise CircuitError("cannot compose circuits with different qubit counts")
+        combined = QuantumCircuit(self.num_qubits, name=f"{self.name}+{other.name}")
+        combined.instructions = list(self.instructions) + list(other.instructions)
+        return combined
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the circuit implementing the inverse unitary (U†)."""
+        inverted = QuantumCircuit(self.num_qubits, name=f"{self.name}_dg")
+        inverted.instructions = [inst.inverse() for inst in reversed(self.instructions)]
+        return inverted
+
+    def copy(self) -> "QuantumCircuit":
+        """Return a shallow copy of the circuit."""
+        duplicate = QuantumCircuit(self.num_qubits, name=self.name)
+        duplicate.instructions = list(self.instructions)
+        return duplicate
+
+    def remapped(self, layout: Sequence[int]) -> "QuantumCircuit":
+        """Return a copy with qubit ``i`` relabelled to ``layout[i]``."""
+        if sorted(layout) != list(range(self.num_qubits)):
+            raise CircuitError("layout must be a permutation of the circuit's qubits")
+        remapped = QuantumCircuit(self.num_qubits, name=self.name)
+        for instruction in self.instructions:
+            remapped.append(
+                instruction.name,
+                [layout[q] for q in instruction.qubits],
+                instruction.params,
+            )
+        return remapped
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"gates={len(self.instructions)}, depth={self.depth()})"
+        )
+
+    def gate_counts(self) -> dict[str, int]:
+        """Histogram of gate names used in the circuit."""
+        counts: dict[str, int] = {}
+        for instruction in self.instructions:
+            counts[instruction.name] = counts.get(instruction.name, 0) + 1
+        return counts
+
+    def num_two_qubit_gates(self) -> int:
+        """Number of two-qubit gates (the dominant error source on hardware)."""
+        return sum(1 for inst in self.instructions if inst.num_qubits == 2)
+
+    def num_single_qubit_gates(self) -> int:
+        """Number of single-qubit gates."""
+        return sum(1 for inst in self.instructions if inst.num_qubits == 1)
+
+    def depth(self) -> int:
+        """Circuit depth: length of the longest gate dependency chain."""
+        frontier = [0] * self.num_qubits
+        for instruction in self.instructions:
+            level = max(frontier[q] for q in instruction.qubits) + 1
+            for qubit in instruction.qubits:
+                frontier[qubit] = level
+        return max(frontier) if frontier else 0
+
+    def qubits_used(self) -> set[int]:
+        """Set of qubit indices touched by at least one gate."""
+        used: set[int] = set()
+        for instruction in self.instructions:
+            used.update(instruction.qubits)
+        return used
+
+    def gates_per_qubit(self) -> list[int]:
+        """Number of gates touching each qubit (index = qubit)."""
+        counts = [0] * self.num_qubits
+        for instruction in self.instructions:
+            for qubit in instruction.qubits:
+                counts[qubit] += 1
+        return counts
+
+    def two_qubit_gates_per_qubit(self) -> list[int]:
+        """Number of two-qubit gates touching each qubit."""
+        counts = [0] * self.num_qubits
+        for instruction in self.instructions:
+            if instruction.num_qubits == 2:
+                for qubit in instruction.qubits:
+                    counts[qubit] += 1
+        return counts
+
+    def interaction_pairs(self) -> set[tuple[int, int]]:
+        """Unordered qubit pairs coupled by at least one two-qubit gate."""
+        pairs: set[tuple[int, int]] = set()
+        for instruction in self.instructions:
+            if instruction.num_qubits == 2:
+                a, b = instruction.qubits
+                pairs.add((min(a, b), max(a, b)))
+        return pairs

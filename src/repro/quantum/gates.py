@@ -1,0 +1,203 @@
+"""Gate library for the statevector simulator.
+
+Each gate is described by a :class:`GateDefinition` holding its unitary
+matrix (or a factory for parametric gates) and arity.  The simulator and the
+transpiler only interact with gates through this registry, so adding a gate
+means adding one entry here.
+
+Conventions
+-----------
+* Qubit 0 is the most-significant bit of the measured bitstring, matching the
+  string representation used by :mod:`repro.core.bitstring`.
+* Single-qubit rotation angles follow the standard convention
+  ``R_a(theta) = exp(-i * theta/2 * a)`` for ``a`` in ``{X, Y, Z}``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+
+__all__ = [
+    "GateDefinition",
+    "GATE_REGISTRY",
+    "gate_matrix",
+    "gate_definition",
+    "is_two_qubit_gate",
+    "is_parametric_gate",
+    "controlled_gate_matrix",
+    "SINGLE_QUBIT_BASIS_GATES",
+    "TWO_QUBIT_BASIS_GATES",
+]
+
+_SQRT2_INV = 1.0 / np.sqrt(2.0)
+
+# Fixed single-qubit matrices -------------------------------------------------
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = np.array([[1, 1], [1, -1]], dtype=complex) * _SQRT2_INV
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+_SDG = np.array([[1, 0], [0, -1j]], dtype=complex)
+_T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+_TDG = np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+
+def _rx(theta: float) -> np.ndarray:
+    half = theta / 2.0
+    return np.array(
+        [[np.cos(half), -1j * np.sin(half)], [-1j * np.sin(half), np.cos(half)]], dtype=complex
+    )
+
+
+def _ry(theta: float) -> np.ndarray:
+    half = theta / 2.0
+    return np.array([[np.cos(half), -np.sin(half)], [np.sin(half), np.cos(half)]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    half = theta / 2.0
+    return np.array([[np.exp(-1j * half), 0], [0, np.exp(1j * half)]], dtype=complex)
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    return np.array(
+        [
+            [np.cos(theta / 2), -np.exp(1j * lam) * np.sin(theta / 2)],
+            [np.exp(1j * phi) * np.sin(theta / 2), np.exp(1j * (phi + lam)) * np.cos(theta / 2)],
+        ],
+        dtype=complex,
+    )
+
+
+def _phase(lam: float) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=complex)
+
+
+# Fixed two-qubit matrices (ordering: first listed qubit is the more
+# significant index within the 4x4 matrix) -----------------------------------
+_CX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+_CZ = np.diag([1, 1, 1, -1]).astype(complex)
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+_ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+def _rzz(theta: float) -> np.ndarray:
+    half = theta / 2.0
+    return np.diag(
+        [np.exp(-1j * half), np.exp(1j * half), np.exp(1j * half), np.exp(-1j * half)]
+    ).astype(complex)
+
+
+def _cphase(lam: float) -> np.ndarray:
+    return np.diag([1, 1, 1, np.exp(1j * lam)]).astype(complex)
+
+
+@dataclass(frozen=True)
+class GateDefinition:
+    """Description of a gate type.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case gate name.
+    num_qubits:
+        Arity of the gate (1 or 2).
+    num_params:
+        Number of real parameters the gate takes.
+    matrix_factory:
+        Callable mapping the parameter tuple to the unitary matrix.
+    hermitian:
+        True when the gate is its own inverse (used by circuit inversion).
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_factory: Callable[..., np.ndarray]
+    hermitian: bool = False
+
+    def matrix(self, params: Sequence[float] = ()) -> np.ndarray:
+        """Return the unitary for the given parameters."""
+        if len(params) != self.num_params:
+            raise CircuitError(
+                f"gate {self.name!r} expects {self.num_params} parameter(s), got {len(params)}"
+            )
+        return self.matrix_factory(*params)
+
+
+GATE_REGISTRY: dict[str, GateDefinition] = {
+    "id": GateDefinition("id", 1, 0, lambda: _I, hermitian=True),
+    "x": GateDefinition("x", 1, 0, lambda: _X, hermitian=True),
+    "y": GateDefinition("y", 1, 0, lambda: _Y, hermitian=True),
+    "z": GateDefinition("z", 1, 0, lambda: _Z, hermitian=True),
+    "h": GateDefinition("h", 1, 0, lambda: _H, hermitian=True),
+    "s": GateDefinition("s", 1, 0, lambda: _S),
+    "sdg": GateDefinition("sdg", 1, 0, lambda: _SDG),
+    "t": GateDefinition("t", 1, 0, lambda: _T),
+    "tdg": GateDefinition("tdg", 1, 0, lambda: _TDG),
+    "sx": GateDefinition("sx", 1, 0, lambda: _SX),
+    "rx": GateDefinition("rx", 1, 1, _rx),
+    "ry": GateDefinition("ry", 1, 1, _ry),
+    "rz": GateDefinition("rz", 1, 1, _rz),
+    "p": GateDefinition("p", 1, 1, _phase),
+    "u3": GateDefinition("u3", 1, 3, _u3),
+    "cx": GateDefinition("cx", 2, 0, lambda: _CX, hermitian=True),
+    "cz": GateDefinition("cz", 2, 0, lambda: _CZ, hermitian=True),
+    "swap": GateDefinition("swap", 2, 0, lambda: _SWAP, hermitian=True),
+    "iswap": GateDefinition("iswap", 2, 0, lambda: _ISWAP),
+    "rzz": GateDefinition("rzz", 2, 1, _rzz),
+    "cp": GateDefinition("cp", 2, 1, _cphase),
+}
+
+#: Basis sets the transpiler targets (IBM-like and Sycamore-like devices).
+SINGLE_QUBIT_BASIS_GATES = ("rz", "sx", "x")
+TWO_QUBIT_BASIS_GATES = ("cx", "cz")
+
+
+def gate_definition(name: str) -> GateDefinition:
+    """Look up a gate definition by (case-insensitive) name."""
+    key = name.lower()
+    if key not in GATE_REGISTRY:
+        raise CircuitError(f"unknown gate {name!r}; known gates: {sorted(GATE_REGISTRY)}")
+    return GATE_REGISTRY[key]
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the unitary matrix of a named gate."""
+    return gate_definition(name).matrix(params)
+
+
+def is_two_qubit_gate(name: str) -> bool:
+    """True when the named gate acts on two qubits."""
+    return gate_definition(name).num_qubits == 2
+
+
+def is_parametric_gate(name: str) -> bool:
+    """True when the named gate takes at least one parameter."""
+    return gate_definition(name).num_params > 0
+
+
+def controlled_gate_matrix(single_qubit_matrix: np.ndarray) -> np.ndarray:
+    """Return the 4x4 controlled version of a single-qubit unitary.
+
+    The control is the first (more significant) qubit.
+    """
+    single_qubit_matrix = np.asarray(single_qubit_matrix, dtype=complex)
+    if single_qubit_matrix.shape != (2, 2):
+        raise CircuitError("controlled_gate_matrix expects a 2x2 unitary")
+    controlled = np.eye(4, dtype=complex)
+    controlled[2:, 2:] = single_qubit_matrix
+    return controlled

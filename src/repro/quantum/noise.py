@@ -1,0 +1,279 @@
+"""Noise channels and device noise models.
+
+The paper evaluates HAMMER with histograms measured on real IBM/Google
+devices.  We substitute those devices with a gate-level stochastic noise
+model that reproduces the statistical character of their output histograms:
+
+* **Depolarizing gate errors** — after every gate, with probability equal to
+  the gate's error rate a uniformly random (non-identity) Pauli error is
+  applied to the gate's qubits.  Two-qubit gates are 10-20x noisier than
+  single-qubit gates, matching the 1-2% CNOT error rates quoted in the paper.
+* **Idle (decoherence) errors** — qubits accumulate a small error probability
+  proportional to circuit depth, standing in for T1/T2 decay during idle
+  periods.
+* **Readout errors** — independent per-qubit assignment errors with an
+  asymmetric bias (reading ``1`` as ``0`` is more likely than the reverse on
+  superconducting hardware).
+
+Two consumers use these models:
+
+* the trajectory sampler (:mod:`repro.quantum.sampler`) inserts sampled Pauli
+  instructions into the circuit and re-simulates, capturing error
+  propagation through entangling gates;
+* the fast bit-flip sampler converts accumulated error probabilities into
+  per-qubit flip probabilities applied to ideal measurement samples, which is
+  what the large dataset sweeps use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import NoiseModelError
+from repro.quantum.circuit import Instruction, QuantumCircuit
+
+__all__ = ["ReadoutError", "PauliNoise", "NoiseModel"]
+
+_PAULI_NAMES = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class ReadoutError:
+    """Independent per-qubit measurement assignment error.
+
+    Attributes
+    ----------
+    prob_1_given_0:
+        Probability of reading ``1`` when the pre-measurement state is ``0``.
+    prob_0_given_1:
+        Probability of reading ``0`` when the pre-measurement state is ``1``.
+    """
+
+    prob_1_given_0: float
+    prob_0_given_1: float
+
+    def __post_init__(self) -> None:
+        for value in (self.prob_1_given_0, self.prob_0_given_1):
+            if not 0.0 <= value <= 1.0:
+                raise NoiseModelError(f"readout probabilities must be in [0, 1], got {value}")
+
+    def flip_probability(self, bit: str) -> float:
+        """Probability that measuring the given ideal bit reports the other value."""
+        return self.prob_1_given_0 if bit == "0" else self.prob_0_given_1
+
+    def confusion_matrix(self) -> np.ndarray:
+        """2x2 column-stochastic confusion matrix ``M[measured, prepared]``."""
+        return np.array(
+            [
+                [1.0 - self.prob_1_given_0, self.prob_0_given_1],
+                [self.prob_1_given_0, 1.0 - self.prob_0_given_1],
+            ]
+        )
+
+    @classmethod
+    def symmetric(cls, error: float) -> "ReadoutError":
+        """Readout error with the same flip probability in both directions."""
+        return cls(prob_1_given_0=error, prob_0_given_1=error)
+
+
+@dataclass(frozen=True)
+class PauliNoise:
+    """A stochastic Pauli channel: apply X/Y/Z with the given probabilities."""
+
+    prob_x: float
+    prob_y: float
+    prob_z: float
+
+    def __post_init__(self) -> None:
+        total = self.prob_x + self.prob_y + self.prob_z
+        for value in (self.prob_x, self.prob_y, self.prob_z):
+            if value < 0:
+                raise NoiseModelError("Pauli probabilities must be non-negative")
+        if total > 1.0 + 1e-9:
+            raise NoiseModelError(f"Pauli probabilities sum to {total} > 1")
+
+    @property
+    def error_probability(self) -> float:
+        """Total probability that any error occurs."""
+        return self.prob_x + self.prob_y + self.prob_z
+
+    @property
+    def bitflip_probability(self) -> float:
+        """Probability of a bit-flipping error (X or Y)."""
+        return self.prob_x + self.prob_y
+
+    @classmethod
+    def depolarizing(cls, error: float) -> "PauliNoise":
+        """Single-qubit depolarizing channel with total error probability ``error``."""
+        if not 0.0 <= error <= 1.0:
+            raise NoiseModelError(f"error probability must be in [0, 1], got {error}")
+        return cls(prob_x=error / 3.0, prob_y=error / 3.0, prob_z=error / 3.0)
+
+    def sample(self, rng: np.random.Generator) -> str | None:
+        """Sample an error Pauli name ('x'/'y'/'z') or None for no error."""
+        draw = rng.random()
+        if draw < self.prob_x:
+            return "x"
+        if draw < self.prob_x + self.prob_y:
+            return "y"
+        if draw < self.error_probability:
+            return "z"
+        return None
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Device-level noise description consumed by the samplers.
+
+    Attributes
+    ----------
+    single_qubit_error:
+        Depolarizing error probability after every single-qubit gate.
+    two_qubit_error:
+        Depolarizing error probability (per qubit) after every two-qubit gate.
+    readout_error:
+        Per-qubit measurement assignment error.
+    idle_error_per_layer:
+        Error probability accumulated by each qubit per layer of circuit
+        depth, modelling decoherence during idling.
+    crosstalk_error:
+        Extra error probability added to *spectator* qubits adjacent to a
+        two-qubit gate (0 disables crosstalk).  Only the bit-flip sampler
+        uses this term.
+    """
+
+    single_qubit_error: float = 0.001
+    two_qubit_error: float = 0.015
+    readout_error: ReadoutError = field(default_factory=lambda: ReadoutError(0.015, 0.03))
+    idle_error_per_layer: float = 0.0005
+    crosstalk_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("single_qubit_error", "two_qubit_error", "idle_error_per_layer", "crosstalk_error"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise NoiseModelError(f"{name} must be in [0, 1], got {value}")
+
+    # ------------------------------------------------------------------
+    # Per-gate channels
+    # ------------------------------------------------------------------
+    def gate_error(self, instruction: Instruction) -> float:
+        """Depolarizing error probability associated with one instruction."""
+        return self.two_qubit_error if instruction.num_qubits == 2 else self.single_qubit_error
+
+    def gate_channel(self, instruction: Instruction) -> PauliNoise:
+        """Pauli channel applied (per qubit) after the instruction."""
+        return PauliNoise.depolarizing(self.gate_error(instruction))
+
+    def sample_error_instructions(
+        self, circuit: QuantumCircuit, rng: np.random.Generator
+    ) -> list[tuple[int, Instruction]]:
+        """Sample stochastic Pauli error insertions for one noisy trajectory.
+
+        Returns a list of ``(position, error_instruction)`` pairs where
+        ``position`` is the index in the circuit's instruction list *after*
+        which the error should be applied.
+        """
+        errors: list[tuple[int, Instruction]] = []
+        for position, instruction in enumerate(circuit.instructions):
+            channel = self.gate_channel(instruction)
+            for qubit in instruction.qubits:
+                pauli = channel.sample(rng)
+                if pauli is not None:
+                    errors.append((position, Instruction(pauli, (qubit,))))
+        # Idle errors: one channel per qubit per depth layer.
+        depth = circuit.depth()
+        if self.idle_error_per_layer > 0 and depth > 0:
+            idle_channel = PauliNoise.depolarizing(
+                min(1.0, self.idle_error_per_layer * depth)
+            )
+            last_position = len(circuit.instructions) - 1
+            for qubit in range(circuit.num_qubits):
+                pauli = idle_channel.sample(rng)
+                if pauli is not None:
+                    errors.append((last_position, Instruction(pauli, (qubit,))))
+        return errors
+
+    # ------------------------------------------------------------------
+    # Aggregate (analytic) error strengths for the fast sampler
+    # ------------------------------------------------------------------
+    def accumulated_bitflip_probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Per-qubit probability of at least one bit-flipping error.
+
+        Combines gate errors (2/3 of a depolarizing error flips the bit),
+        idle errors and crosstalk into a single independent flip probability
+        per qubit.  This is the error model the fast bit-flip sampler and the
+        dataset emulators use.
+        """
+        num_qubits = circuit.num_qubits
+        survival = np.ones(num_qubits, dtype=float)
+        two_qubit_neighbors = circuit.two_qubit_gates_per_qubit()
+        for instruction in circuit.instructions:
+            flip = PauliNoise.depolarizing(self.gate_error(instruction)).bitflip_probability
+            for qubit in instruction.qubits:
+                survival[qubit] *= 1.0 - flip
+        depth = circuit.depth()
+        if self.idle_error_per_layer > 0 and depth > 0:
+            idle_flip = PauliNoise.depolarizing(
+                min(1.0, self.idle_error_per_layer * depth)
+            ).bitflip_probability
+            survival *= 1.0 - idle_flip
+        if self.crosstalk_error > 0:
+            for qubit in range(num_qubits):
+                crosstalk_exposure = min(1.0, self.crosstalk_error * two_qubit_neighbors[qubit])
+                survival[qubit] *= 1.0 - (2.0 / 3.0) * crosstalk_exposure
+        return 1.0 - survival
+
+    def scramble_probability(self, circuit: QuantumCircuit) -> float:
+        """Probability that a trial is fully scrambled (uniform-error background).
+
+        Deep circuits let errors propagate through entangling gates until the
+        output is essentially uniform.  We model this with a per-two-qubit-gate
+        scrambling probability; the result feeds the uniform background
+        component of the bit-flip sampler, which is what makes the EHD grow
+        with circuit size in the characterisation experiments (Figure 12).
+        """
+        num_two_qubit = circuit.num_two_qubit_gates()
+        per_gate = self.two_qubit_error * 0.5
+        return float(1.0 - (1.0 - per_gate) ** num_two_qubit)
+
+    def readout_flip_probabilities(self, num_qubits: int) -> tuple[np.ndarray, np.ndarray]:
+        """Arrays of per-qubit flip probabilities ``p(read 1 | 0)`` and ``p(read 0 | 1)``."""
+        p10 = np.full(num_qubits, self.readout_error.prob_1_given_0)
+        p01 = np.full(num_qubits, self.readout_error.prob_0_given_1)
+        return p10, p01
+
+    # ------------------------------------------------------------------
+    # Variants
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "NoiseModel":
+        """Return a copy with all error rates multiplied by ``factor`` (capped at 1)."""
+        if factor < 0:
+            raise NoiseModelError(f"scale factor must be >= 0, got {factor}")
+
+        def cap(value: float) -> float:
+            return min(1.0, value * factor)
+
+        return NoiseModel(
+            single_qubit_error=cap(self.single_qubit_error),
+            two_qubit_error=cap(self.two_qubit_error),
+            readout_error=ReadoutError(
+                cap(self.readout_error.prob_1_given_0),
+                cap(self.readout_error.prob_0_given_1),
+            ),
+            idle_error_per_layer=cap(self.idle_error_per_layer),
+            crosstalk_error=cap(self.crosstalk_error),
+        )
+
+    @classmethod
+    def noiseless(cls) -> "NoiseModel":
+        """A noise model with every error rate set to zero."""
+        return cls(
+            single_qubit_error=0.0,
+            two_qubit_error=0.0,
+            readout_error=ReadoutError(0.0, 0.0),
+            idle_error_per_layer=0.0,
+            crosstalk_error=0.0,
+        )

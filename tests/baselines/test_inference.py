@@ -1,0 +1,55 @@
+"""Tests for the simple inference baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import hamming_centrality_ranking, majority_vote_outcome, most_frequent_outcome
+from repro.core import Distribution
+from repro.exceptions import DistributionError
+
+
+@pytest.fixture
+def clustered():
+    # Correct answer "111" has a rich distance-1 neighbourhood but is not the argmax.
+    return Distribution(
+        {"111": 0.30, "101": 0.40, "110": 0.05, "011": 0.10, "010": 0.10, "001": 0.05}
+    )
+
+
+class TestMostFrequent:
+    def test_returns_argmax(self, clustered):
+        assert most_frequent_outcome(clustered) == "101"
+
+
+class TestMajorityVote:
+    def test_bitwise_marginals(self, clustered):
+        # P(bit0=1)=0.75, P(bit1=1)=0.55, P(bit2=1)=0.85 -> "111"
+        assert majority_vote_outcome(clustered) == "111"
+
+    def test_marginal_below_half_gives_zero(self):
+        dist = Distribution({"10": 0.6, "00": 0.4})
+        assert majority_vote_outcome(dist) == "10"
+
+    def test_recovers_answer_under_independent_noise(self):
+        dist = Distribution({"1111": 0.4, "0111": 0.15, "1011": 0.15, "1101": 0.15, "1110": 0.15})
+        assert majority_vote_outcome(dist) == "1111"
+
+
+class TestHammingCentrality:
+    def test_correct_outcome_ranks_first(self, clustered):
+        ranking = hamming_centrality_ranking(clustered, top_k=6)
+        assert ranking[0][0] == "111"
+
+    def test_scores_are_sorted(self, clustered):
+        ranking = hamming_centrality_ranking(clustered, top_k=6)
+        scores = [score for _, score in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_limits_candidates(self, clustered):
+        ranking = hamming_centrality_ranking(clustered, top_k=2)
+        assert len(ranking) == 2
+
+    def test_rejects_nonpositive_top_k(self, clustered):
+        with pytest.raises(DistributionError):
+            hamming_centrality_ranking(clustered, top_k=0)

@@ -1,0 +1,83 @@
+"""Tests for tensored readout-error mitigation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ReadoutCalibration, ReadoutMitigationStage, mitigate_readout
+from repro.circuits import bernstein_vazirani
+from repro.core import Distribution
+from repro.exceptions import NoiseModelError
+from repro.metrics import total_variation_distance
+from repro.quantum import NoiseModel, NoisySampler, ReadoutError, ideal_distribution
+
+
+class TestCalibration:
+    def test_from_readout_error(self):
+        calibration = ReadoutCalibration.from_readout_error(ReadoutError(0.02, 0.05), 3)
+        assert calibration.num_qubits == 3
+        for matrix in calibration.confusion_matrices:
+            assert np.allclose(matrix.sum(axis=0), 1.0)
+
+    def test_rejects_bad_matrix_shape(self):
+        with pytest.raises(NoiseModelError):
+            ReadoutCalibration(confusion_matrices=(np.eye(3),))
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(NoiseModelError):
+            ReadoutCalibration(confusion_matrices=(np.array([[0.5, 0.5], [0.2, 0.2]]),))
+
+    def test_inverse_matrices(self):
+        calibration = ReadoutCalibration.from_readout_error(ReadoutError(0.1, 0.2), 1)
+        inverse = calibration.inverse_matrices()[0]
+        assert np.allclose(inverse @ calibration.confusion_matrices[0], np.eye(2), atol=1e-10)
+
+    def test_singular_matrix_rejected_on_inversion(self):
+        singular = np.array([[0.5, 0.5], [0.5, 0.5]])
+        calibration = ReadoutCalibration(confusion_matrices=(singular,))
+        with pytest.raises(NoiseModelError):
+            calibration.inverse_matrices()
+
+
+class TestMitigation:
+    def test_no_error_is_identity(self):
+        dist = Distribution({"01": 0.25, "10": 0.75})
+        calibration = ReadoutCalibration.from_readout_error(ReadoutError(0.0, 0.0), 2)
+        assert mitigate_readout(dist, calibration) == dist.normalized()
+
+    def test_rejects_width_mismatch(self):
+        dist = Distribution({"01": 1.0})
+        calibration = ReadoutCalibration.from_readout_error(ReadoutError(0.01, 0.01), 3)
+        with pytest.raises(NoiseModelError):
+            mitigate_readout(dist, calibration)
+
+    def test_output_is_valid_distribution(self):
+        dist = Distribution({"00": 0.5, "01": 0.2, "10": 0.2, "11": 0.1})
+        calibration = ReadoutCalibration.from_readout_error(ReadoutError(0.05, 0.1), 2)
+        corrected = mitigate_readout(dist, calibration)
+        assert sum(corrected.probabilities().values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in corrected.probabilities().values())
+
+    def test_reduces_readout_induced_error(self):
+        """Mitigation should move a readout-noisy histogram closer to the ideal one."""
+        circuit = bernstein_vazirani("1111")
+        ideal = ideal_distribution(circuit)
+        readout_only = NoiseModel(
+            single_qubit_error=0.0,
+            two_qubit_error=0.0,
+            idle_error_per_layer=0.0,
+            readout_error=ReadoutError(0.05, 0.1),
+        )
+        noisy = NoisySampler(readout_only, shots=20_000, seed=7).run(circuit)
+        calibration = ReadoutCalibration.from_readout_error(readout_only.readout_error, 4)
+        corrected = mitigate_readout(noisy, calibration)
+        assert total_variation_distance(corrected, ideal) < total_variation_distance(noisy, ideal)
+
+    def test_pipeline_stage_wrapper(self):
+        dist = Distribution({"00": 0.6, "01": 0.4})
+        calibration = ReadoutCalibration.from_readout_error(ReadoutError(0.02, 0.02), 2)
+        stage = ReadoutMitigationStage(calibration)
+        assert stage.name == "readout-mitigation"
+        result = stage.apply(dist)
+        assert sum(result.probabilities().values()) == pytest.approx(1.0)

@@ -1,0 +1,72 @@
+"""Tests for Bernstein-Vazirani circuit generation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import bernstein_vazirani, bv_correct_outcome, bv_secret_key
+from repro.exceptions import BitstringError, CircuitError
+from repro.quantum import ideal_distribution
+
+keys = st.text(alphabet="01", min_size=2, max_size=8).filter(lambda k: "1" in k)
+
+
+class TestKeys:
+    def test_ones_pattern(self):
+        assert bv_secret_key(5, "ones") == "11111"
+
+    def test_alternating_pattern(self):
+        assert bv_secret_key(6, "alternating") == "101010"
+
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(CircuitError):
+            bv_secret_key(4, "random")
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(CircuitError):
+            bv_secret_key(0)
+
+    def test_correct_outcome_is_key(self):
+        assert bv_correct_outcome("1011") == "1011"
+
+    def test_correct_outcome_rejects_bad_string(self):
+        with pytest.raises(BitstringError):
+            bv_correct_outcome("10a1")
+
+
+class TestCircuit:
+    @given(keys)
+    @settings(max_examples=25, deadline=None)
+    def test_ideal_output_is_key(self, key):
+        circuit = bernstein_vazirani(key)
+        dist = ideal_distribution(circuit)
+        assert dist.probability(key) == pytest.approx(1.0, abs=1e-9)
+
+    @given(keys)
+    @settings(max_examples=15, deadline=None)
+    def test_phase_oracle_variant_also_correct(self, key):
+        circuit = bernstein_vazirani(key, entangling_oracle=False)
+        dist = ideal_distribution(circuit)
+        assert dist.probability(key) == pytest.approx(1.0, abs=1e-9)
+
+    def test_entangling_oracle_uses_cx_gates(self):
+        circuit = bernstein_vazirani("1111")
+        assert circuit.num_two_qubit_gates() > 0
+
+    def test_phase_oracle_has_no_two_qubit_gates(self):
+        circuit = bernstein_vazirani("1111", entangling_oracle=False)
+        assert circuit.num_two_qubit_gates() == 0
+
+    def test_two_qubit_count_grows_with_key_weight(self):
+        light = bernstein_vazirani("1000000001")
+        heavy = bernstein_vazirani("1111111111")
+        assert heavy.num_two_qubit_gates() > light.num_two_qubit_gates()
+
+    def test_width_matches_key(self):
+        assert bernstein_vazirani("10101").num_qubits == 5
+
+    def test_rejects_invalid_key(self):
+        with pytest.raises(BitstringError):
+            bernstein_vazirani("012")

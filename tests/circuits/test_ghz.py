@@ -1,0 +1,41 @@
+"""Tests for GHZ circuit generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import ghz_circuit, ghz_correct_outcomes
+from repro.exceptions import CircuitError
+from repro.quantum import ideal_distribution
+
+
+class TestGhz:
+    @pytest.mark.parametrize("num_qubits", [2, 3, 5, 8])
+    def test_ideal_output_is_equal_superposition(self, num_qubits):
+        dist = ideal_distribution(ghz_circuit(num_qubits))
+        zeros, ones = ghz_correct_outcomes(num_qubits)
+        assert dist.probability(zeros) == pytest.approx(0.5)
+        assert dist.probability(ones) == pytest.approx(0.5)
+        assert dist.num_outcomes == 2
+
+    def test_star_variant_is_equivalent(self):
+        chain = ideal_distribution(ghz_circuit(5, linear_chain=True))
+        star = ideal_distribution(ghz_circuit(5, linear_chain=False))
+        assert chain == star
+
+    def test_chain_has_linear_cx_count(self):
+        assert ghz_circuit(7).num_two_qubit_gates() == 6
+
+    def test_chain_deeper_than_star_depth_structure(self):
+        chain = ghz_circuit(8, linear_chain=True)
+        star = ghz_circuit(8, linear_chain=False)
+        assert chain.depth() >= star.depth()
+
+    def test_correct_outcomes(self):
+        assert ghz_correct_outcomes(3) == ["000", "111"]
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(CircuitError):
+            ghz_circuit(1)
+        with pytest.raises(CircuitError):
+            ghz_correct_outcomes(1)

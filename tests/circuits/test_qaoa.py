@@ -1,0 +1,86 @@
+"""Tests for QAOA ansatz construction and parameter schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import QaoaParameters, default_qaoa_parameters, qaoa_circuit
+from repro.exceptions import CircuitError
+from repro.maxcut import CutCostEvaluator, regular_graph_problem, ring_graph_problem
+from repro.quantum import ideal_distribution
+
+
+class TestParameters:
+    def test_requires_matching_lengths(self):
+        with pytest.raises(CircuitError):
+            QaoaParameters(gammas=(0.1, 0.2), betas=(0.1,))
+
+    def test_requires_at_least_one_layer(self):
+        with pytest.raises(CircuitError):
+            QaoaParameters(gammas=(), betas=())
+
+    def test_flat_round_trip(self):
+        params = QaoaParameters(gammas=(0.1, 0.2), betas=(-0.3, -0.4))
+        assert QaoaParameters.from_flat(params.to_flat()) == params
+
+    def test_from_flat_rejects_odd_length(self):
+        with pytest.raises(CircuitError):
+            QaoaParameters.from_flat([0.1, 0.2, 0.3])
+
+    def test_default_parameters_shape(self):
+        params = default_qaoa_parameters(3)
+        assert params.num_layers == 3
+        assert all(g > 0 for g in params.gammas)
+        assert all(b < 0 for b in params.betas)
+
+    def test_default_parameters_reject_nonpositive_layers(self):
+        with pytest.raises(CircuitError):
+            default_qaoa_parameters(0)
+
+
+class TestCircuitStructure:
+    def test_gate_counts(self):
+        problem = ring_graph_problem(5)
+        circuit = qaoa_circuit(problem, default_qaoa_parameters(2))
+        counts = circuit.gate_counts()
+        assert counts["h"] == 5
+        assert counts["rzz"] == 2 * problem.num_edges
+        assert counts["rx"] == 2 * 5
+
+    def test_width_matches_problem(self):
+        problem = regular_graph_problem(8, 3, seed=1)
+        circuit = qaoa_circuit(problem, default_qaoa_parameters(1))
+        assert circuit.num_qubits == 8
+
+    def test_depth_grows_with_layers(self):
+        problem = ring_graph_problem(6)
+        shallow = qaoa_circuit(problem, default_qaoa_parameters(1))
+        deep = qaoa_circuit(problem, default_qaoa_parameters(3))
+        assert deep.depth() > shallow.depth()
+
+
+class TestSolutionQuality:
+    def test_ideal_cost_ratio_beats_random_guessing(self):
+        problem = regular_graph_problem(8, 3, seed=2)
+        evaluator = CutCostEvaluator(problem)
+        circuit = qaoa_circuit(problem, default_qaoa_parameters(2))
+        dist = ideal_distribution(circuit)
+        cost_ratio = dist.expectation(evaluator.cost) / evaluator.minimum_cost()
+        assert cost_ratio > 0.2  # random guessing gives ~0
+
+    def test_quality_improves_with_layers_noise_free(self):
+        problem = regular_graph_problem(10, 3, seed=3)
+        evaluator = CutCostEvaluator(problem)
+        ratios = []
+        for layers in (1, 2, 3):
+            dist = ideal_distribution(qaoa_circuit(problem, default_qaoa_parameters(layers)))
+            ratios.append(dist.expectation(evaluator.cost) / evaluator.minimum_cost())
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_weighted_graph_weights_enter_cost_layer(self):
+        from repro.maxcut import sherrington_kirkpatrick_problem
+
+        problem = sherrington_kirkpatrick_problem(4, seed=0)
+        circuit = qaoa_circuit(problem, default_qaoa_parameters(1))
+        rzz_angles = {inst.params[0] for inst in circuit if inst.name == "rzz"}
+        assert len(rzz_angles) >= 1  # +-1 weights produce at least two distinct signed angles

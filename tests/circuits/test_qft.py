@@ -1,0 +1,54 @@
+"""Tests for QFT circuits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import qft_basis_state_circuit, qft_circuit
+from repro.exceptions import CircuitError
+from repro.quantum import ideal_distribution, simulate_statevector
+
+
+class TestQft:
+    def test_qft_on_zero_state_is_uniform(self):
+        dist = ideal_distribution(qft_circuit(3))
+        for outcome in dist.outcomes():
+            assert dist.probability(outcome) == pytest.approx(1 / 8, abs=1e-9)
+
+    def test_qft_amplitudes_are_fourier_phases(self):
+        num_qubits = 3
+        circuit = qft_circuit(num_qubits, include_swaps=True)
+        # Prepare |001> = integer 1, apply QFT, expect amplitudes exp(2*pi*i*k/8)/sqrt(8).
+        prep = qft_circuit(num_qubits, include_swaps=True)
+        from repro.quantum import QuantumCircuit
+
+        full = QuantumCircuit(num_qubits)
+        full.x(2)
+        full = full.compose(circuit)
+        state = simulate_statevector(full)
+        amplitudes = state.vector
+        expected = np.array([np.exp(2j * np.pi * k / 8) for k in range(8)]) / np.sqrt(8)
+        phase = amplitudes[0] / expected[0]
+        assert np.allclose(amplitudes, expected * phase, atol=1e-8)
+
+    def test_every_pair_interacts(self):
+        circuit = qft_circuit(4, include_swaps=False)
+        assert len(circuit.interaction_pairs()) == 6
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(CircuitError):
+            qft_circuit(0)
+
+
+class TestQftRoundTrip:
+    @pytest.mark.parametrize("bitstring", ["000", "101", "0110", "11111"])
+    def test_round_trip_recovers_input(self, bitstring):
+        dist = ideal_distribution(qft_basis_state_circuit(bitstring))
+        assert dist.probability(bitstring) == pytest.approx(1.0, abs=1e-8)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(CircuitError):
+            qft_basis_state_circuit("01a")
+        with pytest.raises(CircuitError):
+            qft_basis_state_circuit("")

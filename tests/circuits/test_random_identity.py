@@ -1,0 +1,65 @@
+"""Tests for the H·U_R·U_R†·H random identity benchmark family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import (
+    RandomIdentitySpec,
+    identity_correct_outcome,
+    random_identity_circuit,
+    random_unitary_circuit,
+)
+from repro.exceptions import CircuitError
+from repro.quantum import ideal_distribution
+
+
+class TestSpec:
+    def test_rejects_single_qubit(self):
+        with pytest.raises(CircuitError):
+            RandomIdentitySpec(num_qubits=1, depth=3)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(CircuitError):
+            RandomIdentitySpec(num_qubits=4, depth=0)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(CircuitError):
+            RandomIdentitySpec(num_qubits=4, depth=2, two_qubit_density=1.5)
+
+
+class TestCircuits:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_ideal_output_is_all_zeros(self, seed):
+        spec = RandomIdentitySpec(num_qubits=4, depth=3, two_qubit_density=0.6, seed=seed)
+        circuit, _ = random_identity_circuit(spec)
+        dist = ideal_distribution(circuit)
+        assert dist.probability("0000") == pytest.approx(1.0, abs=1e-8)
+
+    def test_entropy_nonnegative_and_bounded(self):
+        spec = RandomIdentitySpec(num_qubits=4, depth=4, two_qubit_density=0.8, seed=7)
+        _, entropy = random_identity_circuit(spec)
+        assert 0.0 <= entropy <= 2.0  # at most min(|A|,|B|) qubits of entropy
+
+    def test_higher_density_gives_more_two_qubit_gates(self):
+        sparse = random_unitary_circuit(RandomIdentitySpec(4, 5, two_qubit_density=0.1, seed=3))
+        dense = random_unitary_circuit(RandomIdentitySpec(4, 5, two_qubit_density=0.9, seed=3))
+        assert dense.num_two_qubit_gates() > sparse.num_two_qubit_gates()
+
+    def test_reproducible_for_same_seed(self):
+        spec = RandomIdentitySpec(num_qubits=3, depth=2, seed=11)
+        first = random_unitary_circuit(spec)
+        second = random_unitary_circuit(spec)
+        assert [ (i.name, i.qubits, i.params) for i in first ] == [
+            (i.name, i.qubits, i.params) for i in second
+        ]
+
+    def test_depth_parameter_controls_length(self):
+        shallow = random_unitary_circuit(RandomIdentitySpec(4, 2, seed=0))
+        deep = random_unitary_circuit(RandomIdentitySpec(4, 8, seed=0))
+        assert len(deep) > len(shallow)
+
+    def test_correct_outcome_helper(self):
+        assert identity_correct_outcome(5) == "00000"
+        with pytest.raises(CircuitError):
+            identity_correct_outcome(0)

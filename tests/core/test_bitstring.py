@@ -1,0 +1,169 @@
+"""Unit and property-based tests for bitstring utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitstring as bs
+from repro.exceptions import BitstringError
+
+bitstrings = st.text(alphabet="01", min_size=1, max_size=24)
+
+
+def paired_bitstrings(max_size: int = 24):
+    """Strategy producing two bitstrings of equal width."""
+    return st.integers(min_value=1, max_value=max_size).flatmap(
+        lambda n: st.tuples(
+            st.text(alphabet="01", min_size=n, max_size=n),
+            st.text(alphabet="01", min_size=n, max_size=n),
+        )
+    )
+
+
+class TestValidation:
+    def test_accepts_valid_bitstring(self):
+        assert bs.validate_bitstring("0101") == "0101"
+
+    def test_rejects_empty(self):
+        with pytest.raises(BitstringError):
+            bs.validate_bitstring("")
+
+    def test_rejects_bad_characters(self):
+        with pytest.raises(BitstringError):
+            bs.validate_bitstring("01a1")
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(BitstringError):
+            bs.validate_bitstring("010", num_bits=4)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(BitstringError):
+            bs.validate_bitstring(0b0101)  # type: ignore[arg-type]
+
+
+class TestConversions:
+    def test_round_trip_small(self):
+        assert bs.bitstring_to_int("1010") == 10
+        assert bs.int_to_bitstring(10, 4) == "1010"
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_round_trip_property(self, value):
+        assert bs.bitstring_to_int(bs.int_to_bitstring(value, 20)) == value
+
+    def test_int_to_bitstring_rejects_overflow(self):
+        with pytest.raises(BitstringError):
+            bs.int_to_bitstring(16, 4)
+
+    def test_int_to_bitstring_rejects_negative(self):
+        with pytest.raises(BitstringError):
+            bs.int_to_bitstring(-1, 4)
+
+    def test_int_to_bitstring_rejects_zero_width(self):
+        with pytest.raises(BitstringError):
+            bs.int_to_bitstring(0, 0)
+
+
+class TestHammingDistance:
+    def test_known_values(self):
+        assert bs.hamming_distance("0000", "0000") == 0
+        assert bs.hamming_distance("0000", "1111") == 4
+        assert bs.hamming_distance("1010", "1001") == 2
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(BitstringError):
+            bs.hamming_distance("00", "000")
+
+    @given(paired_bitstrings())
+    def test_symmetry(self, pair):
+        a, b = pair
+        assert bs.hamming_distance(a, b) == bs.hamming_distance(b, a)
+
+    @given(paired_bitstrings())
+    def test_bounds(self, pair):
+        a, b = pair
+        distance = bs.hamming_distance(a, b)
+        assert 0 <= distance <= len(a)
+        assert (distance == 0) == (a == b)
+
+    @given(bitstrings)
+    def test_weight_is_distance_to_zero(self, value):
+        assert bs.hamming_weight(value) == bs.hamming_distance(value, "0" * len(value))
+
+
+class TestFlipAndNeighbors:
+    def test_flip_bits(self):
+        assert bs.flip_bits("0000", [0, 3]) == "1001"
+
+    def test_flip_bits_out_of_range(self):
+        with pytest.raises(BitstringError):
+            bs.flip_bits("0000", [4])
+
+    def test_neighbors_at_distance_counts(self):
+        neighbors = list(bs.neighbors_at_distance("0000", 2))
+        assert len(neighbors) == 6
+        assert all(bs.hamming_distance(n, "0000") == 2 for n in neighbors)
+
+    def test_neighbors_at_distance_zero(self):
+        assert list(bs.neighbors_at_distance("101", 0)) == ["101"]
+
+    def test_neighbors_rejects_bad_distance(self):
+        with pytest.raises(BitstringError):
+            list(bs.neighbors_at_distance("101", 4))
+
+    @given(bitstrings, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30)
+    def test_neighbors_all_at_exact_distance(self, value, distance):
+        if distance > len(value):
+            return
+        for neighbor in bs.neighbors_at_distance(value, distance):
+            assert bs.hamming_distance(neighbor, value) == distance
+
+
+class TestEnumerationAndRandom:
+    def test_all_bitstrings(self):
+        assert bs.all_bitstrings(2) == ["00", "01", "10", "11"]
+
+    def test_all_bitstrings_guard(self):
+        with pytest.raises(BitstringError):
+            bs.all_bitstrings(30)
+
+    def test_random_bitstring_reproducible(self):
+        rng = np.random.default_rng(5)
+        first = bs.random_bitstring(16, rng)
+        rng = np.random.default_rng(5)
+        second = bs.random_bitstring(16, rng)
+        assert first == second
+        assert len(first) == 16
+
+
+class TestPackedDistances:
+    @given(st.lists(st.text(alphabet="01", min_size=7, max_size=7), min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_pairwise_matrix_matches_scalar(self, strings):
+        matrix = bs.pairwise_hamming_matrix(strings)
+        for i, a in enumerate(strings):
+            for j, b in enumerate(strings):
+                assert matrix[i, j] == bs.hamming_distance(a, b)
+
+    def test_pairwise_matrix_wide_strings(self):
+        strings = ["0" * 70, "1" * 70, ("10" * 35)]
+        matrix = bs.pairwise_hamming_matrix(strings)
+        assert matrix[0, 1] == 70
+        assert matrix[0, 2] == 35
+        assert matrix[1, 2] == 35
+
+    def test_distance_to_reference(self):
+        strings = ["000", "001", "011", "111"]
+        distances = bs.hamming_distance_to_reference(strings, "000")
+        assert list(distances) == [0, 1, 2, 3]
+
+    def test_pack_rejects_empty(self):
+        with pytest.raises(BitstringError):
+            bs.pack_bitstrings([])
+
+    def test_pack_rejects_mixed_width(self):
+        with pytest.raises(BitstringError):
+            bs.pack_bitstrings(["00", "000"])

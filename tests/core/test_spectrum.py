@@ -1,0 +1,153 @@
+"""Tests for Hamming spectrum, CHS and EHD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Distribution,
+    average_chs,
+    cumulative_hamming_strength,
+    distance_to_correct_set,
+    expected_hamming_distance,
+    hamming_spectrum,
+    uniform_model_ehd,
+)
+from repro.exceptions import DistributionError
+
+
+def small_distributions(num_bits: int = 5):
+    outcome = st.integers(min_value=0, max_value=2**num_bits - 1).map(
+        lambda v: format(v, f"0{num_bits}b")
+    )
+    return st.dictionaries(outcome, st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=10).map(
+        lambda data: Distribution(data, num_bits=num_bits)
+    )
+
+
+class TestDistanceToCorrectSet:
+    def test_single_reference(self):
+        assert distance_to_correct_set("0011", ["0000"]) == 2
+
+    def test_multiple_references_takes_shortest(self):
+        assert distance_to_correct_set("0011", ["0000", "0111"]) == 1
+
+    def test_rejects_empty_reference_set(self):
+        with pytest.raises(DistributionError):
+            distance_to_correct_set("0011", [])
+
+
+class TestHammingSpectrum:
+    def test_bins_sum_to_one(self):
+        dist = Distribution({"000": 0.5, "001": 0.3, "111": 0.2})
+        spectrum = hamming_spectrum(dist, ["000"])
+        assert spectrum.bins.sum() == pytest.approx(1.0)
+
+    def test_bin_assignment(self):
+        dist = Distribution({"000": 0.5, "001": 0.3, "111": 0.2})
+        spectrum = hamming_spectrum(dist, ["000"])
+        assert spectrum.bin_probability(0) == pytest.approx(0.5)
+        assert spectrum.bin_probability(1) == pytest.approx(0.3)
+        assert spectrum.bin_probability(3) == pytest.approx(0.2)
+        assert spectrum.correct_probability() == pytest.approx(0.5)
+
+    def test_multiple_correct_outcomes(self):
+        dist = Distribution({"000": 0.4, "111": 0.4, "011": 0.2})
+        spectrum = hamming_spectrum(dist, ["000", "111"])
+        assert spectrum.bin_probability(0) == pytest.approx(0.8)
+        assert spectrum.bin_probability(1) == pytest.approx(0.2)
+
+    def test_bin_average_probability(self):
+        dist = Distribution({"000": 0.5, "001": 0.25, "010": 0.25})
+        spectrum = hamming_spectrum(dist, ["000"])
+        assert spectrum.bin_average_probability(1) == pytest.approx(0.25)
+        assert spectrum.bin_average_probability(3) == 0.0
+
+    def test_nonzero_bins_and_series(self):
+        dist = Distribution({"000": 0.5, "011": 0.5})
+        spectrum = hamming_spectrum(dist, ["000"])
+        assert spectrum.nonzero_bins() == [0, 2]
+        assert len(spectrum.as_series()) == 4
+
+    def test_rejects_empty_correct_set(self):
+        with pytest.raises(DistributionError):
+            hamming_spectrum(Distribution({"0": 1.0}), [])
+
+    def test_rejects_out_of_range_bin(self):
+        spectrum = hamming_spectrum(Distribution({"00": 1.0}), ["00"])
+        with pytest.raises(DistributionError):
+            spectrum.bin_probability(5)
+
+    @given(small_distributions())
+    @settings(max_examples=25)
+    def test_bins_always_sum_to_one(self, dist):
+        spectrum = hamming_spectrum(dist, ["0" * dist.num_bits])
+        assert spectrum.bins.sum() == pytest.approx(1.0)
+
+
+class TestCumulativeHammingStrength:
+    def test_self_bin_contains_own_probability(self):
+        dist = Distribution({"00": 0.7, "01": 0.2, "11": 0.1})
+        chs = cumulative_hamming_strength(dist, "00")
+        assert chs[0] == pytest.approx(0.7)
+        assert chs[1] == pytest.approx(0.2)
+        assert chs[2] == pytest.approx(0.1)
+
+    def test_truncated_max_distance(self):
+        dist = Distribution({"00": 0.7, "11": 0.3})
+        chs = cumulative_hamming_strength(dist, "00", max_distance=1)
+        assert len(chs) == 2
+        assert chs.sum() == pytest.approx(0.7)
+
+    def test_rejects_negative_max_distance(self):
+        with pytest.raises(DistributionError):
+            cumulative_hamming_strength(Distribution({"0": 1.0}), "0", max_distance=-1)
+
+    @given(small_distributions())
+    @settings(max_examples=25)
+    def test_full_chs_sums_to_one(self, dist):
+        outcome = dist.outcomes()[0]
+        chs = cumulative_hamming_strength(dist, outcome)
+        assert chs.sum() == pytest.approx(1.0)
+
+
+class TestAverageChs:
+    def test_matches_manual_average(self):
+        dist = Distribution({"00": 0.5, "01": 0.5})
+        average = average_chs(dist)
+        # Each outcome sees itself at d=0 (0.5 each) and the other at d=1.
+        assert average[0] == pytest.approx(0.5)
+        assert average[1] == pytest.approx(0.5)
+
+    @given(small_distributions())
+    @settings(max_examples=20)
+    def test_average_chs_sums_to_one(self, dist):
+        assert average_chs(dist).sum() == pytest.approx(1.0)
+
+
+class TestExpectedHammingDistance:
+    def test_perfect_distribution_has_zero_ehd(self):
+        assert expected_hamming_distance(Distribution({"0101": 1.0}), ["0101"]) == 0.0
+
+    def test_uniform_distribution_approaches_half_n(self):
+        uniform = Distribution.uniform(8)
+        ehd = expected_hamming_distance(uniform, ["00000000"])
+        assert ehd == pytest.approx(4.0)
+
+    def test_weighted_average(self):
+        dist = Distribution({"000": 0.5, "011": 0.5})
+        assert expected_hamming_distance(dist, ["000"]) == pytest.approx(1.0)
+
+    @given(small_distributions())
+    @settings(max_examples=25)
+    def test_ehd_bounds(self, dist):
+        ehd = expected_hamming_distance(dist, ["0" * dist.num_bits])
+        assert 0.0 <= ehd <= dist.num_bits
+
+    def test_uniform_model_reference(self):
+        assert uniform_model_ehd(10) == 5.0
+        with pytest.raises(DistributionError):
+            uniform_model_ehd(0)

@@ -1,0 +1,82 @@
+"""Tests for the named HAMMER ablation variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Distribution, HammerConfig, hammer, variants
+from repro.core.weights import NearestNeighborWeights, UniformWeights
+
+
+@pytest.fixture
+def clustered():
+    rng = np.random.default_rng(5)
+    correct = "11110000"
+    data = {correct: 0.5}
+    for _ in range(60):
+        distance = int(min(8, rng.geometric(0.4)))
+        positions = rng.choice(8, size=distance, replace=False)
+        outcome = list(correct)
+        for position in positions:
+            outcome[position] = "1" if outcome[position] == "0" else "0"
+        key = "".join(outcome)
+        data[key] = data.get(key, 0.0) + float(rng.random() * 0.3 * 0.4**distance + 0.002)
+    return Distribution(data, num_bits=8), correct
+
+
+class TestVariantFactories:
+    def test_paper_default_matches_plain_config(self):
+        assert variants.paper_default() == HammerConfig()
+
+    def test_no_filter(self):
+        assert variants.no_filter().use_filter is False
+
+    def test_no_self_term(self):
+        assert variants.no_self_term().include_self_probability is False
+
+    def test_full_neighborhood_has_huge_cutoff(self):
+        assert variants.full_neighborhood().resolved_cutoff(8) == 9
+
+    def test_nearest_neighbor_scheme(self):
+        assert isinstance(variants.nearest_neighbor_only().weight_scheme, NearestNeighborWeights)
+
+    def test_uniform_weights_scheme(self):
+        assert isinstance(variants.uniform_weights().weight_scheme, UniformWeights)
+
+    def test_fixed_cutoff(self):
+        assert variants.fixed_cutoff(2).resolved_cutoff(10) == 2
+
+    def test_all_variants_registry(self):
+        registry = variants.all_variants()
+        assert "paper_default" in registry
+        assert len(registry) >= 6
+
+
+class TestVariantBehaviour:
+    def test_every_variant_produces_valid_distribution(self, clustered):
+        dist, _ = clustered
+        for name, config in variants.all_variants().items():
+            corrected = hammer(dist, config)
+            total = sum(corrected.probabilities().values())
+            assert total == pytest.approx(1.0), f"variant {name} broke normalisation"
+
+    def test_paper_default_boosts_clustered_correct_outcome(self, clustered):
+        """The default configuration must amplify an outcome with a rich neighbourhood."""
+        dist, correct = clustered
+        corrected = hammer(dist, variants.paper_default())
+        assert corrected.probability(correct) > dist.probability(correct)
+
+    def test_variants_differ_from_default(self, clustered):
+        dist, _ = clustered
+        default = hammer(dist, variants.paper_default())
+        changed = 0
+        for name, config in variants.all_variants().items():
+            if name == "paper_default":
+                continue
+            other = hammer(dist, config)
+            if any(
+                abs(default.probability(o) - other.probability(o)) > 1e-9 for o in dist.outcomes()
+            ):
+                changed += 1
+        assert changed >= 4

@@ -1,0 +1,82 @@
+"""Tests for per-distance weight schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import (
+    ExponentialDecayWeights,
+    InverseChsWeights,
+    NearestNeighborWeights,
+    UniformWeights,
+    resolve_weight_scheme,
+)
+from repro.exceptions import DistributionError
+
+
+@pytest.fixture
+def chs_vector():
+    return np.array([0.2, 0.4, 0.3, 0.1, 0.0])
+
+
+class TestInverseChs:
+    def test_inverts_nonzero_bins(self, chs_vector):
+        weights = InverseChsWeights().compute(chs_vector, num_bits=4, cutoff=4)
+        assert weights[0] == pytest.approx(1 / 0.2)
+        assert weights[1] == pytest.approx(1 / 0.4)
+
+    def test_zero_bins_stay_zero(self):
+        weights = InverseChsWeights().compute(np.array([0.5, 0.0, 0.5]), num_bits=2, cutoff=3)
+        assert weights[1] == 0.0
+
+    def test_cutoff_zeroes_tail(self, chs_vector):
+        weights = InverseChsWeights().compute(chs_vector, num_bits=4, cutoff=2)
+        assert all(w == 0 for w in weights[2:])
+
+
+class TestUniform:
+    def test_all_ones_below_cutoff(self, chs_vector):
+        weights = UniformWeights().compute(chs_vector, num_bits=4, cutoff=3)
+        assert list(weights[:3]) == [1.0, 1.0, 1.0]
+        assert list(weights[3:]) == [0.0, 0.0]
+
+
+class TestExponentialDecay:
+    def test_decay_shape(self, chs_vector):
+        weights = ExponentialDecayWeights(decay=0.5).compute(chs_vector, num_bits=4, cutoff=4)
+        assert weights[0] == pytest.approx(1.0)
+        assert weights[1] == pytest.approx(0.5)
+        assert weights[2] == pytest.approx(0.25)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(DistributionError):
+            ExponentialDecayWeights(decay=0.0)
+        with pytest.raises(DistributionError):
+            ExponentialDecayWeights(decay=1.5)
+
+
+class TestNearestNeighbor:
+    def test_only_first_two_bins(self, chs_vector):
+        weights = NearestNeighborWeights().compute(chs_vector, num_bits=4, cutoff=4)
+        assert weights[0] > 0
+        assert weights[1] > 0
+        assert all(w == 0 for w in weights[2:])
+
+
+class TestResolution:
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_weight_scheme("inverse_chs"), InverseChsWeights)
+        assert isinstance(resolve_weight_scheme("uniform"), UniformWeights)
+
+    def test_resolve_passthrough(self):
+        scheme = UniformWeights()
+        assert resolve_weight_scheme(scheme) is scheme
+
+    def test_resolve_unknown_name(self):
+        with pytest.raises(DistributionError):
+            resolve_weight_scheme("does-not-exist")
+
+    def test_resolve_bad_type(self):
+        with pytest.raises(DistributionError):
+            resolve_weight_scheme(42)  # type: ignore[arg-type]

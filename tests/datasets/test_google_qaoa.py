@@ -1,0 +1,76 @@
+"""Tests for the synthetic Google Sycamore QAOA dataset (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import GoogleDatasetConfig, full_table1_config, generate_google_dataset, table1_summaries
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def tiny_records():
+    config = GoogleDatasetConfig(
+        grid_qubit_range=(6, 8),
+        grid_layer_values=(1,),
+        regular_qubit_range=(4, 6),
+        regular_layer_values=(1,),
+        instances_per_size=1,
+        shots=1024,
+        seed=11,
+    )
+    return generate_google_dataset(config)
+
+
+class TestConfig:
+    def test_full_config_matches_table1(self):
+        config = full_table1_config()
+        assert config.grid_qubit_range == (6, 20)
+        assert config.grid_layer_values == (1, 2, 3, 4, 5)
+        assert config.regular_qubit_range == (4, 16)
+        assert config.regular_layer_values == (1, 2, 3)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(DatasetError):
+            GoogleDatasetConfig(grid_qubit_range=(10, 5))
+        with pytest.raises(DatasetError):
+            GoogleDatasetConfig(shots=0)
+
+
+class TestGeneration:
+    def test_families_present(self, tiny_records):
+        families = {record.metadata["family"] for record in tiny_records}
+        assert families == {"grid", "3-regular"}
+
+    def test_records_are_qaoa_with_problems(self, tiny_records):
+        for record in tiny_records:
+            assert record.benchmark == "qaoa"
+            assert record.problem is not None
+            assert record.device == "google-sycamore"
+            assert record.metadata["readout_corrected"] is True
+
+    def test_noisy_distribution_valid(self, tiny_records):
+        for record in tiny_records:
+            total = sum(record.noisy_distribution.probabilities().values())
+            assert total == pytest.approx(1.0)
+
+    def test_sk_family_optional(self):
+        config = GoogleDatasetConfig(
+            grid_qubit_range=(6, 6),
+            grid_layer_values=(1,),
+            regular_qubit_range=(4, 4),
+            regular_layer_values=(1,),
+            include_sk=True,
+            shots=512,
+        )
+        records = generate_google_dataset(config)
+        assert any(record.metadata["family"] == "sk" for record in records)
+
+
+class TestSummary:
+    def test_table1_summaries(self, tiny_records):
+        summaries = table1_summaries(tiny_records)
+        labels = {summary.benchmark for summary in summaries}
+        assert "Maxcut on Grid" in labels
+        assert "Maxcut on 3-Reg Graphs" in labels
+        assert sum(summary.num_circuits for summary in summaries) == len(tiny_records)

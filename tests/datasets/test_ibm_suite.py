@@ -1,0 +1,103 @@
+"""Tests for the synthetic IBM benchmark suite (Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import IbmSuiteConfig, full_table2_config, table2_summaries
+from repro.datasets.ibm_suite import (
+    default_ibm_devices,
+    generate_bv_records,
+    generate_ibm_suite,
+    generate_qaoa_records,
+)
+from repro.exceptions import DatasetError
+from repro.quantum import ibm_paris
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return IbmSuiteConfig(
+        bv_qubit_range=(4, 6),
+        bv_keys_per_size=1,
+        qaoa_qubit_range=(4, 6),
+        qaoa_layer_values=(1,),
+        qaoa_instances_per_size=1,
+        shots=1024,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_devices():
+    return [ibm_paris()]
+
+
+class TestConfig:
+    def test_full_config_matches_table2_ranges(self):
+        config = full_table2_config()
+        assert config.bv_qubit_range == (5, 15)
+        assert config.qaoa_qubit_range == (5, 20)
+        assert config.qaoa_layer_values == (2, 4)
+
+    def test_rejects_invalid_ranges(self):
+        with pytest.raises(DatasetError):
+            IbmSuiteConfig(bv_qubit_range=(10, 5))
+        with pytest.raises(DatasetError):
+            IbmSuiteConfig(shots=0)
+
+    def test_default_devices_are_the_three_ibm_machines(self):
+        names = {device.name for device in default_ibm_devices()}
+        assert names == {"ibm-paris", "ibm-manhattan", "ibm-toronto"}
+
+
+class TestBvRecords:
+    def test_record_count_and_shape(self, tiny_config, tiny_devices):
+        records = generate_bv_records(tiny_config, tiny_devices)
+        assert len(records) == 3  # sizes 4, 5, 6 with one key each on one device
+        for record in records:
+            assert record.benchmark == "bv"
+            assert record.correct_outcomes is not None
+            assert record.noisy_distribution.num_bits == record.num_qubits
+            assert record.ideal_distribution.probability(record.correct_outcomes[0]) == pytest.approx(1.0)
+
+    def test_noisy_distributions_contain_errors(self, tiny_config, tiny_devices):
+        records = generate_bv_records(tiny_config, tiny_devices)
+        assert any(record.noisy_distribution.num_outcomes > 1 for record in records)
+
+    def test_reproducible_for_same_seed(self, tiny_config, tiny_devices):
+        first = generate_bv_records(tiny_config, tiny_devices)
+        second = generate_bv_records(tiny_config, tiny_devices)
+        assert [r.record_id for r in first] == [r.record_id for r in second]
+        assert all(a.noisy_distribution == b.noisy_distribution for a, b in zip(first, second))
+
+
+class TestQaoaRecords:
+    def test_record_families(self, tiny_config, tiny_devices):
+        records = generate_qaoa_records(tiny_config, tiny_devices)
+        families = {record.metadata["family"] for record in records}
+        assert families == {"3-regular", "random"}
+        for record in records:
+            assert record.problem is not None
+            assert record.num_layers in tiny_config.qaoa_layer_values
+
+    def test_single_family_selection(self, tiny_config, tiny_devices):
+        records = generate_qaoa_records(tiny_config, tiny_devices, families=("random",))
+        assert all(record.metadata["family"] == "random" for record in records)
+
+
+class TestSuiteAndSummary:
+    def test_suite_combines_bv_and_qaoa(self, tiny_config, tiny_devices):
+        records = generate_ibm_suite(tiny_config, tiny_devices)
+        benchmarks = {record.benchmark for record in records}
+        assert benchmarks == {"bv", "qaoa"}
+
+    def test_table2_summaries(self, tiny_config, tiny_devices):
+        records = generate_ibm_suite(tiny_config, tiny_devices)
+        summaries = table2_summaries(records)
+        names = [(s.name, s.benchmark) for s in summaries]
+        assert ("BV", "Bernstein-Vazirani") in names
+        assert any("3-Reg" in benchmark for _, benchmark in names)
+        assert any("Rand" in benchmark for _, benchmark in names)
+        total = sum(s.num_circuits for s in summaries)
+        assert total == len(records)

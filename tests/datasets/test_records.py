@@ -1,0 +1,110 @@
+"""Tests for the dataset record schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Distribution
+from repro.datasets import CircuitRecord, DatasetSummary
+from repro.exceptions import DatasetError
+from repro.maxcut import ring_graph_problem
+
+
+@pytest.fixture
+def bv_record():
+    return CircuitRecord(
+        record_id="bv-test",
+        benchmark="bv",
+        device="ibm-paris",
+        num_qubits=3,
+        noisy_distribution=Distribution({"111": 0.7, "110": 0.3}),
+        ideal_distribution=Distribution({"111": 1.0}),
+        correct_outcomes=("111",),
+    )
+
+
+@pytest.fixture
+def qaoa_record():
+    problem = ring_graph_problem(4)
+    return CircuitRecord(
+        record_id="qaoa-test",
+        benchmark="qaoa",
+        device="google-sycamore",
+        num_qubits=4,
+        noisy_distribution=Distribution({"0101": 0.6, "0000": 0.4}),
+        ideal_distribution=Distribution({"0101": 1.0}),
+        problem=problem,
+        num_layers=1,
+    )
+
+
+class TestValidation:
+    def test_valid_records_construct(self, bv_record, qaoa_record):
+        assert bv_record.num_qubits == 3
+        assert qaoa_record.problem is not None
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(DatasetError):
+            CircuitRecord(
+                record_id="broken",
+                benchmark="bv",
+                device="d",
+                num_qubits=4,
+                noisy_distribution=Distribution({"111": 1.0}),
+                ideal_distribution=Distribution({"1111": 1.0}),
+                correct_outcomes=("1111",),
+            )
+
+    def test_rejects_missing_reference(self):
+        with pytest.raises(DatasetError):
+            CircuitRecord(
+                record_id="broken",
+                benchmark="bv",
+                device="d",
+                num_qubits=3,
+                noisy_distribution=Distribution({"111": 1.0}),
+                ideal_distribution=Distribution({"111": 1.0}),
+            )
+
+
+class TestAccessors:
+    def test_reference_outcomes_for_bv(self, bv_record):
+        assert bv_record.reference_outcomes() == ("111",)
+
+    def test_reference_outcomes_for_qaoa_are_optimal_cuts(self, qaoa_record):
+        assert set(qaoa_record.reference_outcomes()) == {"0101", "1010"}
+
+    def test_cost_evaluator_for_qaoa(self, qaoa_record):
+        evaluator = qaoa_record.cost_evaluator()
+        assert evaluator.minimum_cost() == pytest.approx(-4.0)
+
+    def test_cost_evaluator_rejected_for_bv(self, bv_record):
+        with pytest.raises(DatasetError):
+            bv_record.cost_evaluator()
+
+
+class TestSummary:
+    def test_as_row(self):
+        summary = DatasetSummary(
+            name="BV",
+            benchmark="Bernstein-Vazirani",
+            num_circuits=88,
+            qubit_range=(5, 15),
+            layer_range=None,
+            figure_of_merit=("IST", "PST"),
+        )
+        row = summary.as_row()
+        assert row["qubits"] == "5-15"
+        assert row["layers"] == "-"
+        assert row["figure_of_merit"] == "IST, PST"
+
+    def test_as_row_with_layers(self):
+        summary = DatasetSummary(
+            name="QAOA",
+            benchmark="Maxcut",
+            num_circuits=70,
+            qubit_range=(5, 20),
+            layer_range=(2, 4),
+            figure_of_merit=("CR",),
+        )
+        assert summary.as_row()["layers"] == "2-4"

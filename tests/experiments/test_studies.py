@@ -1,0 +1,180 @@
+"""Smoke and shape tests for the per-figure experiment drivers (small configs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import GoogleDatasetConfig, IbmSuiteConfig, generate_google_dataset
+from repro.experiments import (
+    BvStudyConfig,
+    EhdStudyConfig,
+    EntanglementStudyConfig,
+    LandscapeStudyConfig,
+    LayersStudyConfig,
+    run_bv_histogram_example,
+    run_bv_single_example,
+    run_bv_study,
+    run_chs_pipeline,
+    run_cost_ratio_scurve,
+    run_ehd_scaling,
+    run_entanglement_study,
+    run_ghz_clustering,
+    run_hamming_spectrum,
+    run_ibm_qaoa_study,
+    run_landscape_study,
+    run_layers_study,
+    run_neighbor_cost_study,
+    run_noise_impact_example,
+    run_quality_distribution_example,
+)
+from repro.exceptions import ExperimentError
+from repro.quantum import ibm_paris
+
+
+@pytest.fixture(scope="module")
+def google_records():
+    config = GoogleDatasetConfig(
+        grid_qubit_range=(6, 8),
+        grid_layer_values=(1, 2),
+        regular_qubit_range=(4, 8),
+        regular_layer_values=(1, 2),
+        instances_per_size=1,
+        shots=2048,
+        seed=5,
+    )
+    return generate_google_dataset(config)
+
+
+class TestSpectrumStudies:
+    def test_bv_histogram_example(self):
+        report = run_bv_histogram_example(num_qubits=4)
+        assert report.summary["correct_probability"] > 0.2
+        assert report.summary["mass_within_distance_2"] > report.summary["correct_probability"]
+        assert all("hamming_distance" in row for row in report.rows)
+
+    def test_noise_impact_example(self):
+        report = run_noise_impact_example(num_qubits=6)
+        assert report.summary["ideal_expected_cost"] < report.summary["noisy_expected_cost"]
+        assert report.summary["cost_degradation"] > 0
+
+    @pytest.mark.parametrize("workload", ["bv", "qaoa"])
+    def test_hamming_spectrum(self, workload):
+        report = run_hamming_spectrum(benchmark=workload, num_qubits=6)
+        bins = [row["bin_probability"] for row in report.rows]
+        assert sum(bins) == pytest.approx(1.0, abs=1e-6)
+        assert report.summary["mass_within_distance_3"] > 0.5
+
+    def test_hamming_spectrum_rejects_unknown_benchmark(self):
+        with pytest.raises(ExperimentError):
+            run_hamming_spectrum(benchmark="vqe")
+
+    def test_ghz_clustering(self):
+        report = run_ghz_clustering(num_qubits=6)
+        assert 0.0 < report.summary["correct_probability"] < 1.0
+        assert report.summary["dominant_errors_within_distance_2"] > 0.5
+
+    def test_chs_pipeline(self):
+        report = run_chs_pipeline(num_qubits=8)
+        assert report.summary["correct_score"] > report.summary["top_incorrect_score"] * 0.5
+        assert report.summary["hammer_correct_probability"] > report.summary["baseline_correct_probability"]
+        weights = [row["weight"] for row in report.rows]
+        assert any(w > 0 for w in weights)
+        assert weights[-1] == 0.0  # beyond the n/2 cutoff
+
+
+class TestEhdStudies:
+    def test_ehd_scaling_below_uniform(self):
+        config = EhdStudyConfig(qubit_values=(4, 6, 8), shots=2048)
+        report = run_ehd_scaling("bv", config=config, device=ibm_paris())
+        assert report.summary["fraction_below_uniform"] == 1.0
+        assert len(report.rows) == 3
+
+    def test_ehd_scaling_unknown_workload(self):
+        with pytest.raises(ExperimentError):
+            run_ehd_scaling("teleportation", config=EhdStudyConfig(qubit_values=(4,)))
+
+    def test_ehd_grows_with_size(self):
+        config = EhdStudyConfig(qubit_values=(4, 10), shots=4096)
+        report = run_ehd_scaling("bv", config=config, device=ibm_paris())
+        assert report.rows[-1]["ehd"] > report.rows[0]["ehd"]
+
+
+class TestBvStudies:
+    def test_bv_study_improves_fidelity(self):
+        config = BvStudyConfig(qubit_range=(5, 7), keys_per_size=1, shots=2048)
+        report = run_bv_study(config, devices=[ibm_paris()])
+        assert report.summary["gmean_pst_improvement"] > 1.0
+        assert report.summary["gmean_ist_improvement"] > 1.0
+        assert len(report.rows) == 3
+
+    def test_bv_single_example(self):
+        report = run_bv_single_example(num_qubits=6, shots=2048)
+        assert report.summary["hammer_pst"] > report.summary["baseline_pst"]
+        assert len(report.rows) == 2
+
+
+class TestQaoaStudies:
+    def test_cost_ratio_scurve(self, google_records):
+        report = run_cost_ratio_scurve(records=google_records, family="3-regular")
+        assert report.summary["mean_hammer_cr"] > report.summary["mean_baseline_cr"]
+        assert report.summary["fraction_improved"] > 0.5
+        assert all("instance_rank" in row for row in report.rows)
+
+    def test_cost_ratio_scurve_missing_family(self, google_records):
+        with pytest.raises(ExperimentError):
+            run_cost_ratio_scurve(records=google_records, family="hypercube")
+
+    def test_quality_distribution_example(self, google_records):
+        report = run_quality_distribution_example(records=google_records, target_qubits=8)
+        assert report.summary["hammer_optimal_mass"] >= report.summary["baseline_optimal_mass"]
+        labels = {row["distribution"] for row in report.rows}
+        assert labels == {"baseline", "hammer"}
+
+    def test_ibm_qaoa_study(self):
+        config = IbmSuiteConfig(
+            bv_qubit_range=(4, 5),
+            qaoa_qubit_range=(6, 8),
+            qaoa_layer_values=(2,),
+            qaoa_instances_per_size=1,
+            shots=4096,
+            seed=3,
+        )
+        report = run_ibm_qaoa_study(config=config)
+        assert report.summary["mean_cr_improvement"] > 1.0
+        assert report.summary["mean_tvd_reduction"] > 1.0
+
+
+class TestLayersAndLandscape:
+    def test_layers_study_shapes(self):
+        config = LayersStudyConfig(node_values=(6,), layer_values=(1, 2, 3), shots=2048)
+        report = run_layers_study(config)
+        assert len(report.rows) == 3
+        noiseless = [row["noiseless_cr"] for row in report.rows]
+        assert noiseless == sorted(noiseless)  # monotone improvement without noise
+        assert report.summary["mean_hammer_gain"] > 0
+
+    def test_neighbor_cost_study(self):
+        report = run_neighbor_cost_study(LandscapeStudyConfig(num_nodes=8))
+        assert report.summary["mean_cost_distance_2"] > report.summary["mean_cost_distance_1"]
+        assert report.summary["mean_cost_distance_1"] > report.summary["minimum_cost"]
+
+    def test_landscape_study(self):
+        config = LandscapeStudyConfig(num_nodes=8, grid_points=4, shots=4096)
+        report = run_landscape_study(config)
+        assert report.summary["hammer_best_cr"] > report.summary["baseline_best_cr"]
+        assert report.summary["sharpness_gain"] > 0
+        executions = {row["execution"] for row in report.rows}
+        assert executions == {"ideal", "baseline", "hammer"}
+
+
+class TestEntanglementStudy:
+    def test_structure_survives_entanglement(self):
+        config = EntanglementStudyConfig(num_qubits=6, num_circuits=6, shots=2048)
+        report = run_entanglement_study(config, depth_class="low")
+        assert report.summary["fraction_below_uniform"] > 0.8
+        assert -1.0 <= report.summary["spearman_ehd_vs_entropy"] <= 1.0
+
+    def test_rejects_unknown_depth_class(self):
+        with pytest.raises(ExperimentError):
+            run_entanglement_study(EntanglementStudyConfig(num_qubits=4, num_circuits=3), depth_class="medium")

@@ -1,0 +1,103 @@
+"""Tests for cut-cost evaluation and exact extrema."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstring import int_to_bitstring
+from repro.exceptions import GraphError
+from repro.maxcut import (
+    CutCostEvaluator,
+    cut_cost,
+    cut_size,
+    regular_graph_problem,
+    ring_graph_problem,
+    sherrington_kirkpatrick_problem,
+)
+
+
+@pytest.fixture
+def ring4():
+    return ring_graph_problem(4)
+
+
+class TestCostEvaluation:
+    def test_optimal_cut_cost(self, ring4):
+        # Alternating colouring cuts all 4 edges: cost = -4.
+        assert cut_cost(ring4, "0101") == pytest.approx(-4.0)
+        assert cut_size(ring4, "0101") == pytest.approx(4.0)
+
+    def test_trivial_cut_cost(self, ring4):
+        assert cut_cost(ring4, "0000") == pytest.approx(4.0)
+        assert cut_size(ring4, "0000") == pytest.approx(0.0)
+
+    def test_partial_cut(self, ring4):
+        assert cut_cost(ring4, "0001") == pytest.approx(0.0)
+        assert cut_size(ring4, "0001") == pytest.approx(2.0)
+
+    def test_cost_symmetric_under_global_flip(self, ring4):
+        evaluator = CutCostEvaluator(ring4)
+        assert evaluator.cost("0011") == pytest.approx(evaluator.cost("1100"))
+
+    def test_rejects_wrong_width(self, ring4):
+        evaluator = CutCostEvaluator(ring4)
+        with pytest.raises(Exception):
+            evaluator.cost("00001")
+
+    @given(st.integers(min_value=0, max_value=2**6 - 1))
+    @settings(max_examples=30)
+    def test_cost_plus_two_cut_is_total_weight(self, assignment):
+        """Identity: cost = total_weight - 2 * cut_value for unweighted graphs."""
+        problem = regular_graph_problem(6, 3, seed=4)
+        evaluator = CutCostEvaluator(problem)
+        bits = int_to_bitstring(assignment, 6)
+        total_weight = sum(w for _, _, w in problem.edges())
+        assert evaluator.cost(bits) == pytest.approx(total_weight - 2 * evaluator.cut_value(bits))
+
+
+class TestExtrema:
+    def test_ring_extrema(self, ring4):
+        evaluator = CutCostEvaluator(ring4)
+        assert evaluator.minimum_cost() == pytest.approx(-4.0)
+        assert evaluator.maximum_cost() == pytest.approx(4.0)
+        assert set(evaluator.optimal_cuts()) == {"0101", "1010"}
+
+    def test_minimum_cost_negative_for_regular_graphs(self):
+        evaluator = CutCostEvaluator(regular_graph_problem(8, 3, seed=1))
+        assert evaluator.minimum_cost() < 0
+
+    def test_optimal_cuts_achieve_minimum(self):
+        evaluator = CutCostEvaluator(sherrington_kirkpatrick_problem(6, seed=2))
+        for cut in evaluator.optimal_cuts():
+            assert evaluator.cost(cut) == pytest.approx(evaluator.minimum_cost())
+
+    def test_extrema_cached(self, ring4):
+        evaluator = CutCostEvaluator(ring4)
+        first = evaluator.minimum_cost()
+        second = evaluator.minimum_cost()
+        assert first == second
+
+
+class TestNeighborCosts:
+    def test_distance_one_costs_are_worse_than_optimal(self, ring4):
+        evaluator = CutCostEvaluator(ring4)
+        costs = evaluator.costs_at_hamming_distance(1)
+        assert all(cost > evaluator.minimum_cost() for cost in costs)
+
+    def test_distance_zero_returns_optimal_costs(self, ring4):
+        evaluator = CutCostEvaluator(ring4)
+        costs = evaluator.costs_at_hamming_distance(0)
+        assert all(cost == pytest.approx(evaluator.minimum_cost()) for cost in costs)
+
+    def test_average_cost_degrades_with_distance(self):
+        evaluator = CutCostEvaluator(regular_graph_problem(10, 3, seed=6))
+        mean_d1 = sum(evaluator.costs_at_hamming_distance(1)) / len(evaluator.costs_at_hamming_distance(1))
+        mean_d2 = sum(evaluator.costs_at_hamming_distance(2)) / len(evaluator.costs_at_hamming_distance(2))
+        assert mean_d1 > evaluator.minimum_cost()
+        assert mean_d2 > evaluator.minimum_cost()
+
+    def test_rejects_bad_distance(self, ring4):
+        with pytest.raises(GraphError):
+            CutCostEvaluator(ring4).costs_at_hamming_distance(-1)

@@ -1,0 +1,107 @@
+"""Tests for max-cut problem graph generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.maxcut import (
+    erdos_renyi_problem,
+    grid_graph_problem,
+    regular_graph_problem,
+    ring_graph_problem,
+    sherrington_kirkpatrick_problem,
+)
+
+
+class TestGridGraphs:
+    @pytest.mark.parametrize("num_nodes", [4, 6, 9, 12, 16])
+    def test_node_count_and_connectivity(self, num_nodes):
+        problem = grid_graph_problem(num_nodes)
+        assert problem.num_nodes == num_nodes
+        assert nx.is_connected(problem.graph)
+        assert problem.family == "grid"
+
+    def test_low_degree(self):
+        problem = grid_graph_problem(16)
+        degrees = [d for _, d in problem.graph.degree()]
+        assert max(degrees) <= 4
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            grid_graph_problem(1)
+
+
+class TestRegularGraphs:
+    @pytest.mark.parametrize("num_nodes", [4, 6, 8, 12])
+    def test_every_node_has_degree_three(self, num_nodes):
+        problem = regular_graph_problem(num_nodes, degree=3, seed=1)
+        assert all(d == 3 for _, d in problem.graph.degree())
+        assert problem.family == "3-regular"
+
+    def test_reproducible_with_seed(self):
+        a = regular_graph_problem(8, 3, seed=5)
+        b = regular_graph_problem(8, 3, seed=5)
+        assert a.edges() == b.edges()
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(GraphError):
+            regular_graph_problem(5, degree=3)
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(GraphError):
+            regular_graph_problem(3, degree=3)
+
+
+class TestErdosRenyi:
+    def test_connected_and_sized(self):
+        problem = erdos_renyi_problem(8, edge_probability=0.4, seed=2)
+        assert problem.num_nodes == 8
+        assert nx.is_connected(problem.graph)
+        assert problem.family == "erdos-renyi"
+
+    def test_density_controls_edge_count(self):
+        sparse = erdos_renyi_problem(10, edge_probability=0.2, seed=1)
+        dense = erdos_renyi_problem(10, edge_probability=0.8, seed=1)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_problem(8, edge_probability=0.0)
+
+
+class TestSkAndRing:
+    def test_sk_is_complete_with_pm1_weights(self):
+        problem = sherrington_kirkpatrick_problem(6, seed=3)
+        assert problem.num_edges == 15
+        assert set(w for _, _, w in problem.edges()) <= {-1.0, 1.0}
+        assert problem.family == "sk"
+
+    def test_sk_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            sherrington_kirkpatrick_problem(1)
+
+    def test_ring(self):
+        problem = ring_graph_problem(7)
+        assert problem.num_edges == 7
+        assert all(d == 2 for _, d in problem.graph.degree())
+
+    def test_ring_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            ring_graph_problem(2)
+
+
+class TestProblemApi:
+    def test_edges_are_sorted_with_weights(self):
+        problem = ring_graph_problem(4)
+        edges = problem.edges()
+        assert edges == sorted(edges)
+        assert all(w == 1.0 for _, _, w in edges)
+
+    def test_describe(self):
+        problem = grid_graph_problem(6, seed=9)
+        description = problem.describe()
+        assert description["family"] == "grid"
+        assert description["num_nodes"] == 6
+        assert description["seed"] == 9

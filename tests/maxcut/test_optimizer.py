@@ -1,0 +1,67 @@
+"""Tests for the classical QAOA optimisation loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import QaoaParameters
+from repro.exceptions import ExperimentError
+from repro.maxcut import CutCostEvaluator, optimize_qaoa, ring_graph_problem
+from repro.quantum import simulate_statevector
+
+
+def ideal_executor(circuit):
+    return simulate_statevector(circuit).measurement_distribution()
+
+
+@pytest.fixture
+def ring6():
+    return ring_graph_problem(6)
+
+
+class TestOptimizer:
+    def test_improves_over_poor_initialisation(self, ring6):
+        poor_start = QaoaParameters(gammas=(0.05,), betas=(0.05,))
+        result = optimize_qaoa(
+            ring6, ideal_executor, num_layers=1, initial_parameters=poor_start, max_evaluations=40
+        )
+        initial_cost = result.trace[0].expected_cost
+        assert result.best_expected_cost <= initial_cost
+        assert result.best_cost_ratio > 0.2
+
+    def test_trace_records_every_evaluation(self, ring6):
+        result = optimize_qaoa(ring6, ideal_executor, num_layers=1, max_evaluations=15)
+        assert result.num_evaluations == len(result.trace)
+        assert result.num_evaluations >= 1
+        iterations = [point.iteration for point in result.trace]
+        assert iterations == sorted(iterations)
+
+    def test_best_is_minimum_of_trace(self, ring6):
+        result = optimize_qaoa(ring6, ideal_executor, num_layers=1, max_evaluations=20)
+        assert result.best_expected_cost == pytest.approx(
+            min(point.expected_cost for point in result.trace)
+        )
+
+    def test_best_cost_ratio_consistent(self, ring6):
+        evaluator = CutCostEvaluator(ring6)
+        result = optimize_qaoa(ring6, ideal_executor, num_layers=1, max_evaluations=20)
+        assert result.best_cost_ratio == pytest.approx(
+            result.best_expected_cost / evaluator.minimum_cost()
+        )
+
+    def test_rejects_nonpositive_budget(self, ring6):
+        with pytest.raises(ExperimentError):
+            optimize_qaoa(ring6, ideal_executor, max_evaluations=0)
+
+    def test_rejects_layer_mismatch(self, ring6):
+        with pytest.raises(ExperimentError):
+            optimize_qaoa(
+                ring6,
+                ideal_executor,
+                num_layers=2,
+                initial_parameters=QaoaParameters(gammas=(0.1,), betas=(0.1,)),
+            )
+
+    def test_two_layer_optimisation_runs(self, ring6):
+        result = optimize_qaoa(ring6, ideal_executor, num_layers=2, max_evaluations=25)
+        assert result.best_parameters.num_layers == 2

@@ -1,0 +1,84 @@
+"""Tests for QAOA figures of merit (expected cost, Cost Ratio, quality curves)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Distribution
+from repro.exceptions import DistributionError
+from repro.maxcut import CutCostEvaluator, ring_graph_problem
+from repro.metrics import (
+    approximation_ratio,
+    cost_ratio,
+    cumulative_quality_probability,
+    expected_cost,
+    solution_quality_curve,
+)
+
+
+@pytest.fixture
+def ring4():
+    """4-node ring: optimal cuts are the two alternating colourings with cost -4."""
+    problem = ring_graph_problem(4)
+    return problem, CutCostEvaluator(problem)
+
+
+class TestExpectedCostAndRatio:
+    def test_point_mass_on_optimum(self, ring4):
+        _, evaluator = ring4
+        dist = Distribution({"0101": 1.0})
+        assert expected_cost(dist, evaluator.cost) == pytest.approx(-4.0)
+        assert cost_ratio(dist, evaluator.cost, evaluator.minimum_cost()) == pytest.approx(1.0)
+
+    def test_uniform_distribution_has_zero_expected_cost(self, ring4):
+        _, evaluator = ring4
+        uniform = Distribution.uniform(4)
+        assert expected_cost(uniform, evaluator.cost) == pytest.approx(0.0, abs=1e-9)
+        assert cost_ratio(uniform, evaluator.cost, evaluator.minimum_cost()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cost_ratio_rejects_zero_minimum(self, ring4):
+        _, evaluator = ring4
+        with pytest.raises(DistributionError):
+            cost_ratio(Distribution({"0101": 1.0}), evaluator.cost, 0.0)
+
+    def test_approximation_ratio_bounds(self, ring4):
+        _, evaluator = ring4
+        optimal = Distribution({"0101": 1.0})
+        worst = Distribution({"0000": 1.0})
+        c_min, c_max = evaluator.minimum_cost(), evaluator.maximum_cost()
+        assert approximation_ratio(optimal, evaluator.cost, c_min, c_max) == pytest.approx(1.0)
+        assert approximation_ratio(worst, evaluator.cost, c_min, c_max) == pytest.approx(0.0)
+
+    def test_approximation_ratio_rejects_degenerate_range(self, ring4):
+        _, evaluator = ring4
+        with pytest.raises(DistributionError):
+            approximation_ratio(Distribution({"0101": 1.0}), evaluator.cost, -4.0, -4.0)
+
+
+class TestQualityCurve:
+    def test_curve_sorted_best_first(self, ring4):
+        _, evaluator = ring4
+        dist = Distribution({"0101": 0.4, "0000": 0.3, "0001": 0.3})
+        curve = solution_quality_curve(dist, evaluator.cost, evaluator.minimum_cost())
+        qualities = [point.quality for point in curve]
+        assert qualities == sorted(qualities, reverse=True)
+        assert curve[-1].cumulative_probability == pytest.approx(1.0)
+
+    def test_curve_rejects_zero_minimum(self, ring4):
+        _, evaluator = ring4
+        with pytest.raises(DistributionError):
+            solution_quality_curve(Distribution({"0101": 1.0}), evaluator.cost, 0.0)
+
+    def test_cumulative_quality_probability(self, ring4):
+        _, evaluator = ring4
+        dist = Distribution({"0101": 0.25, "1010": 0.25, "0000": 0.5})
+        optimal_mass = cumulative_quality_probability(dist, evaluator.cost, evaluator.minimum_cost())
+        assert optimal_mass == pytest.approx(0.5)
+
+    def test_cumulative_quality_threshold(self, ring4):
+        _, evaluator = ring4
+        dist = Distribution({"0101": 0.25, "0001": 0.75})  # "0001" cuts 2 of 4 edges -> cost 0
+        mass_above_zero = cumulative_quality_probability(
+            dist, evaluator.cost, evaluator.minimum_cost(), quality_threshold=0.0
+        )
+        assert mass_above_zero == pytest.approx(1.0)

@@ -1,0 +1,134 @@
+"""Tests for the QuantumCircuit IR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.quantum import QuantumCircuit, simulate_statevector
+from repro.quantum.circuit import Instruction
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_append_and_len(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        assert len(circuit) == 2
+        assert circuit.instructions[0].name == "h"
+
+    def test_append_rejects_out_of_range_qubit(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).x(2)
+
+    def test_append_rejects_duplicate_qubits(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).cx(1, 1)
+
+    def test_append_rejects_wrong_arity(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).append("cx", [0])
+
+    def test_append_rejects_wrong_param_count(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(1).append("rx", [0], [])
+
+    def test_all_convenience_methods(self):
+        circuit = QuantumCircuit(3)
+        circuit.id(0).x(0).y(0).z(0).h(0).s(0).sdg(0).t(0).sx(0)
+        circuit.rx(0.1, 0).ry(0.2, 1).rz(0.3, 2).p(0.4, 0).u3(0.1, 0.2, 0.3, 1)
+        circuit.cx(0, 1).cz(1, 2).swap(0, 2).rzz(0.5, 0, 1).cp(0.6, 1, 2)
+        circuit.barrier()
+        assert len(circuit) == 19
+
+
+class TestStructuralQueries:
+    @pytest.fixture
+    def ghzish(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2).rz(0.3, 2)
+        return circuit
+
+    def test_gate_counts(self, ghzish):
+        counts = ghzish.gate_counts()
+        assert counts == {"h": 1, "cx": 2, "rz": 1}
+
+    def test_two_qubit_gate_count(self, ghzish):
+        assert ghzish.num_two_qubit_gates() == 2
+        assert ghzish.num_single_qubit_gates() == 2
+
+    def test_depth(self, ghzish):
+        assert ghzish.depth() == 4
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0).h(1).h(2).h(3)
+        assert circuit.depth() == 1
+
+    def test_qubits_used(self, ghzish):
+        assert ghzish.qubits_used() == {0, 1, 2}
+
+    def test_gates_per_qubit(self, ghzish):
+        assert ghzish.gates_per_qubit() == [2, 2, 2]
+
+    def test_two_qubit_gates_per_qubit(self, ghzish):
+        assert ghzish.two_qubit_gates_per_qubit() == [1, 2, 1]
+
+    def test_interaction_pairs(self, ghzish):
+        assert ghzish.interaction_pairs() == {(0, 1), (1, 2)}
+
+
+class TestTransformations:
+    def test_compose(self):
+        first = QuantumCircuit(2)
+        first.h(0)
+        second = QuantumCircuit(2)
+        second.cx(0, 1)
+        combined = first.compose(second)
+        assert [inst.name for inst in combined] == ["h", "cx"]
+
+    def test_compose_rejects_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).compose(QuantumCircuit(3))
+
+    def test_copy_is_independent(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        duplicate = circuit.copy()
+        duplicate.x(0)
+        assert len(circuit) == 1
+        assert len(duplicate) == 2
+
+    def test_remapped(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        remapped = circuit.remapped([2, 1, 0])
+        assert remapped.instructions[0].qubits == (2, 0)
+
+    def test_remapped_rejects_bad_layout(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).remapped([0, 0])
+
+    def test_inverse_undoes_circuit(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).t(1).s(2).rx(0.7, 0).ry(-0.2, 1).rz(1.1, 2)
+        circuit.cx(0, 1).cz(1, 2).swap(0, 2).rzz(0.4, 0, 2).cp(0.9, 0, 1).u3(0.2, 0.5, -0.3, 1)
+        round_trip = circuit.compose(circuit.inverse())
+        state = simulate_statevector(round_trip)
+        probabilities = state.probabilities()
+        assert probabilities[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_instruction_inverse_of_hermitian_gate(self):
+        instruction = Instruction("cx", (0, 1))
+        assert instruction.inverse() == instruction
+
+    def test_instruction_inverse_negates_rotation(self):
+        instruction = Instruction("rz", (0,), (0.5,))
+        assert instruction.inverse().params == (-0.5,)
+
+    def test_instruction_matrix_shape(self):
+        assert Instruction("cx", (0, 1)).matrix().shape == (4, 4)

@@ -1,0 +1,75 @@
+"""Tests for simulated device profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DeviceError
+from repro.quantum import (
+    DeviceProfile,
+    available_devices,
+    get_device,
+    google_sycamore,
+    ibm_manhattan,
+    ibm_paris,
+    ibm_toronto,
+    linear_coupling,
+)
+from repro.quantum.noise import NoiseModel
+
+
+class TestBuiltInDevices:
+    def test_available_devices(self):
+        names = available_devices()
+        assert "ibm-paris" in names
+        assert "google-sycamore" in names
+        assert len(names) == 4
+
+    def test_get_device(self):
+        device = get_device("IBM-Paris")
+        assert device.name == "ibm-paris"
+        assert device.num_qubits == 27
+
+    def test_get_device_unknown(self):
+        with pytest.raises(DeviceError):
+            get_device("ibm-osprey")
+
+    def test_ibm_devices_have_distinct_noise(self):
+        paris, manhattan, toronto = ibm_paris(), ibm_manhattan(), ibm_toronto()
+        two_qubit_errors = {
+            paris.noise_model.two_qubit_error,
+            manhattan.noise_model.two_qubit_error,
+            toronto.noise_model.two_qubit_error,
+        }
+        assert len(two_qubit_errors) == 3
+
+    def test_error_rates_in_paper_range(self):
+        for factory in (ibm_paris, ibm_manhattan, ibm_toronto, google_sycamore):
+            device = factory()
+            assert 0.0005 <= device.noise_model.single_qubit_error <= 0.005
+            assert 0.005 <= device.noise_model.two_qubit_error <= 0.03
+            assert 0.005 <= device.noise_model.readout_error.prob_1_given_0 <= 0.05
+
+    def test_sycamore_is_grid_with_cz_basis(self):
+        device = google_sycamore()
+        assert "cz" in device.basis_gates
+        assert device.coupling_map.name.startswith("grid")
+
+    def test_ibm_devices_use_cx_basis(self):
+        assert "cx" in ibm_paris().basis_gates
+
+    def test_supports_circuit_width(self):
+        device = ibm_paris()
+        assert device.supports_circuit_width(20)
+        assert not device.supports_circuit_width(100)
+
+
+class TestDeviceProfileValidation:
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(DeviceError):
+            DeviceProfile(
+                name="broken",
+                num_qubits=10,
+                coupling_map=linear_coupling(5),
+                noise_model=NoiseModel(),
+            )

@@ -1,0 +1,134 @@
+"""Tests for noise channels and noise models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.quantum import NoiseModel, PauliNoise, QuantumCircuit, ReadoutError
+from repro.quantum.circuit import Instruction
+
+
+class TestReadoutError:
+    def test_flip_probability(self):
+        error = ReadoutError(prob_1_given_0=0.01, prob_0_given_1=0.05)
+        assert error.flip_probability("0") == 0.01
+        assert error.flip_probability("1") == 0.05
+
+    def test_confusion_matrix_columns_sum_to_one(self):
+        matrix = ReadoutError(0.02, 0.07).confusion_matrix()
+        assert np.allclose(matrix.sum(axis=0), [1.0, 1.0])
+
+    def test_symmetric_constructor(self):
+        error = ReadoutError.symmetric(0.03)
+        assert error.prob_1_given_0 == error.prob_0_given_1 == 0.03
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(NoiseModelError):
+            ReadoutError(1.5, 0.0)
+
+
+class TestPauliNoise:
+    def test_depolarizing_split(self):
+        channel = PauliNoise.depolarizing(0.03)
+        assert channel.error_probability == pytest.approx(0.03)
+        assert channel.bitflip_probability == pytest.approx(0.02)
+
+    def test_rejects_negative(self):
+        with pytest.raises(NoiseModelError):
+            PauliNoise(-0.1, 0.0, 0.0)
+
+    def test_rejects_sum_above_one(self):
+        with pytest.raises(NoiseModelError):
+            PauliNoise(0.5, 0.5, 0.5)
+
+    def test_depolarizing_rejects_out_of_range(self):
+        with pytest.raises(NoiseModelError):
+            PauliNoise.depolarizing(1.5)
+
+    def test_sample_statistics(self):
+        channel = PauliNoise(prob_x=0.3, prob_y=0.0, prob_z=0.0)
+        rng = np.random.default_rng(0)
+        draws = [channel.sample(rng) for _ in range(5000)]
+        x_fraction = sum(1 for d in draws if d == "x") / len(draws)
+        assert x_fraction == pytest.approx(0.3, abs=0.03)
+        assert all(d in (None, "x") for d in draws)
+
+    def test_sample_zero_error_never_fires(self):
+        channel = PauliNoise.depolarizing(0.0)
+        rng = np.random.default_rng(1)
+        assert all(channel.sample(rng) is None for _ in range(100))
+
+
+class TestNoiseModel:
+    @pytest.fixture
+    def circuit(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2).rz(0.3, 2)
+        return circuit
+
+    def test_gate_error_distinguishes_arity(self):
+        model = NoiseModel(single_qubit_error=0.001, two_qubit_error=0.02)
+        assert model.gate_error(Instruction("h", (0,))) == 0.001
+        assert model.gate_error(Instruction("cx", (0, 1))) == 0.02
+
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(NoiseModelError):
+            NoiseModel(single_qubit_error=2.0)
+
+    def test_sample_error_instructions_positions_valid(self, circuit):
+        model = NoiseModel(single_qubit_error=0.5, two_qubit_error=0.5)
+        errors = model.sample_error_instructions(circuit, np.random.default_rng(0))
+        assert errors, "with 50% error rates some errors must be sampled"
+        for position, instruction in errors:
+            assert 0 <= position < len(circuit)
+            assert instruction.name in ("x", "y", "z")
+
+    def test_noiseless_model_samples_no_errors(self, circuit):
+        model = NoiseModel.noiseless()
+        assert model.sample_error_instructions(circuit, np.random.default_rng(0)) == []
+
+    def test_accumulated_bitflip_probabilities(self, circuit):
+        model = NoiseModel(single_qubit_error=0.01, two_qubit_error=0.05, idle_error_per_layer=0.0)
+        flips = model.accumulated_bitflip_probabilities(circuit)
+        assert flips.shape == (3,)
+        assert np.all(flips > 0)
+        assert np.all(flips < 1)
+        # Qubit 1 touches two CX gates; qubit 0 touches one CX and one H.
+        assert flips[1] > flips[0]
+
+    def test_accumulated_bitflips_zero_for_noiseless(self, circuit):
+        assert np.allclose(NoiseModel.noiseless().accumulated_bitflip_probabilities(circuit), 0.0)
+
+    def test_scramble_probability_grows_with_two_qubit_gates(self, circuit):
+        model = NoiseModel(two_qubit_error=0.02)
+        small = model.scramble_probability(circuit)
+        deeper = circuit.copy()
+        for _ in range(10):
+            deeper.cx(0, 1)
+        assert model.scramble_probability(deeper) > small
+
+    def test_readout_flip_probabilities_shape(self):
+        model = NoiseModel(readout_error=ReadoutError(0.01, 0.04))
+        p10, p01 = model.readout_flip_probabilities(5)
+        assert p10.shape == p01.shape == (5,)
+        assert np.all(p10 == 0.01)
+        assert np.all(p01 == 0.04)
+
+    def test_scaled(self):
+        model = NoiseModel(single_qubit_error=0.01, two_qubit_error=0.02)
+        scaled = model.scaled(2.0)
+        assert scaled.single_qubit_error == pytest.approx(0.02)
+        assert scaled.two_qubit_error == pytest.approx(0.04)
+        assert scaled.readout_error.prob_1_given_0 == pytest.approx(
+            min(1.0, model.readout_error.prob_1_given_0 * 2)
+        )
+
+    def test_scaled_caps_at_one(self):
+        model = NoiseModel(two_qubit_error=0.6)
+        assert model.scaled(3.0).two_qubit_error == 1.0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(NoiseModelError):
+            NoiseModel().scaled(-1.0)

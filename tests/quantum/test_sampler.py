@@ -1,0 +1,138 @@
+"""Tests for the noisy samplers (trajectory and bit-flip models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import bernstein_vazirani, ghz_circuit
+from repro.core import Distribution
+from repro.exceptions import CircuitError, NoiseModelError
+from repro.quantum import (
+    NoiseModel,
+    NoisySampler,
+    QuantumCircuit,
+    ReadoutError,
+    apply_readout_errors,
+    sample_bitflip_distribution,
+    sample_noisy_distribution,
+    sample_trajectory_distribution,
+)
+
+
+@pytest.fixture
+def bv4():
+    return bernstein_vazirani("1111")
+
+
+@pytest.fixture
+def mild_noise():
+    return NoiseModel(
+        single_qubit_error=0.002,
+        two_qubit_error=0.02,
+        readout_error=ReadoutError(0.02, 0.04),
+        idle_error_per_layer=0.001,
+    )
+
+
+class TestReadoutApplication:
+    def test_no_error_is_identity(self):
+        samples = ["010", "111"]
+        model = NoiseModel.noiseless()
+        assert apply_readout_errors(samples, model, np.random.default_rng(0)) == samples
+
+    def test_full_error_flips_every_bit(self):
+        samples = ["0000", "1111"]
+        model = NoiseModel(readout_error=ReadoutError(1.0, 1.0))
+        flipped = apply_readout_errors(samples, model, np.random.default_rng(0))
+        assert flipped == ["1111", "0000"]
+
+    def test_empty_samples(self):
+        assert apply_readout_errors([], NoiseModel(), np.random.default_rng(0)) == []
+
+
+class TestBitflipSampler:
+    def test_noiseless_sampling_recovers_ideal(self, bv4):
+        dist = sample_bitflip_distribution(bv4, NoiseModel.noiseless(), shots=2000,
+                                           rng=np.random.default_rng(0))
+        assert dist.probability("1111") == pytest.approx(1.0)
+
+    def test_noisy_sampling_keeps_correct_dominant(self, bv4, mild_noise):
+        dist = sample_bitflip_distribution(bv4, mild_noise, shots=4000, rng=np.random.default_rng(1))
+        assert dist.most_probable() == "1111"
+        assert 0.5 < dist.probability("1111") < 1.0
+
+    def test_reuses_precomputed_ideal(self, bv4, mild_noise):
+        ideal = Distribution({"1111": 1.0})
+        dist = sample_bitflip_distribution(
+            bv4, mild_noise, shots=2000, rng=np.random.default_rng(2), ideal=ideal
+        )
+        assert dist.num_bits == 4
+
+    def test_total_weight_equals_shots(self, bv4, mild_noise):
+        dist = sample_bitflip_distribution(bv4, mild_noise, shots=1234, rng=np.random.default_rng(3))
+        assert dist.total_weight == pytest.approx(1234)
+
+    def test_rejects_nonpositive_shots(self, bv4, mild_noise):
+        with pytest.raises(CircuitError):
+            sample_bitflip_distribution(bv4, mild_noise, shots=0)
+
+
+class TestTrajectorySampler:
+    def test_noiseless_trajectories_recover_ideal(self, bv4):
+        dist = sample_trajectory_distribution(
+            bv4, NoiseModel.noiseless(), shots=500, rng=np.random.default_rng(0), max_trajectories=8
+        )
+        assert dist.probability("1111") == pytest.approx(1.0)
+
+    def test_noisy_trajectories_produce_errors(self):
+        circuit = ghz_circuit(4)
+        model = NoiseModel(single_qubit_error=0.05, two_qubit_error=0.1,
+                           readout_error=ReadoutError(0.05, 0.05))
+        dist = sample_trajectory_distribution(
+            circuit, model, shots=800, rng=np.random.default_rng(1), max_trajectories=16
+        )
+        assert dist.num_outcomes > 2  # errors produced outcomes beyond the GHZ pair
+        assert dist.total_weight == pytest.approx(800)
+
+    def test_errors_cluster_near_correct_outcomes(self, mild_noise):
+        circuit = bernstein_vazirani("10101")
+        dist = sample_trajectory_distribution(
+            circuit, mild_noise, shots=1000, rng=np.random.default_rng(2), max_trajectories=20
+        )
+        from repro.core import expected_hamming_distance
+
+        assert expected_hamming_distance(dist, ["10101"]) < 2.5  # well below uniform (2.5 = n/2)
+
+    def test_rejects_bad_trajectory_count(self, bv4, mild_noise):
+        with pytest.raises(NoiseModelError):
+            sample_trajectory_distribution(bv4, mild_noise, shots=10, max_trajectories=0)
+
+
+class TestDispatchAndSampler:
+    def test_dispatch_bitflip(self, bv4, mild_noise):
+        dist = sample_noisy_distribution(bv4, mild_noise, shots=500, method="bitflip",
+                                         rng=np.random.default_rng(0))
+        assert dist.num_bits == 4
+
+    def test_dispatch_trajectory(self, bv4, mild_noise):
+        dist = sample_noisy_distribution(bv4, mild_noise, shots=100, method="trajectory",
+                                         rng=np.random.default_rng(0))
+        assert dist.num_bits == 4
+
+    def test_dispatch_rejects_unknown_method(self, bv4, mild_noise):
+        with pytest.raises(NoiseModelError):
+            sample_noisy_distribution(bv4, mild_noise, shots=100, method="exact")
+
+    def test_noisy_sampler_reproducible(self, bv4, mild_noise):
+        first = NoisySampler(mild_noise, shots=1000, seed=42).run(bv4)
+        second = NoisySampler(mild_noise, shots=1000, seed=42).run(bv4)
+        assert first == second
+
+    def test_noisy_sampler_run_ideal(self, bv4, mild_noise):
+        sampler = NoisySampler(mild_noise, shots=100, seed=0)
+        assert sampler.run_ideal(bv4).probability("1111") == pytest.approx(1.0)
+
+    def test_noisy_sampler_rejects_bad_shots(self, mild_noise):
+        with pytest.raises(CircuitError):
+            NoisySampler(mild_noise, shots=0)

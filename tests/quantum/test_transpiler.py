@@ -1,0 +1,151 @@
+"""Tests for basis decomposition and SWAP routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TranspilerError
+from repro.quantum import (
+    QuantumCircuit,
+    decompose_to_basis,
+    grid_coupling,
+    ibm_paris,
+    linear_coupling,
+    route_circuit,
+    simulate_statevector,
+    transpile,
+)
+
+IBM_BASIS = ("rz", "sx", "x", "cx")
+SYCAMORE_BASIS = ("rz", "sx", "x", "cz")
+
+
+def random_circuit(seed: int, num_qubits: int = 4, num_gates: int = 12) -> QuantumCircuit:
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    single = ["h", "x", "y", "z", "s", "t", "sx", "rx", "ry", "rz", "p", "u3"]
+    double = ["cx", "cz", "swap", "rzz", "cp"]
+    for _ in range(num_gates):
+        if rng.random() < 0.6:
+            gate = str(rng.choice(single))
+            qubit = int(rng.integers(0, num_qubits))
+            num_params = {"rx": 1, "ry": 1, "rz": 1, "p": 1, "u3": 3}.get(gate, 0)
+            circuit.append(gate, [qubit], [float(rng.uniform(0, 2 * np.pi)) for _ in range(num_params)])
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            gate = str(rng.choice(double))
+            params = [float(rng.uniform(0, 2 * np.pi))] if gate in ("rzz", "cp") else []
+            circuit.append(gate, [int(a), int(b)], params)
+    return circuit
+
+
+def assert_same_output_distribution(first: QuantumCircuit, second: QuantumCircuit) -> None:
+    p1 = simulate_statevector(first).probabilities()
+    p2 = simulate_statevector(second).probabilities()
+    assert np.allclose(p1, p2, atol=1e-8)
+
+
+class TestBasisDecomposition:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_ibm_basis_preserves_output(self, seed):
+        circuit = random_circuit(seed)
+        decomposed = decompose_to_basis(circuit, IBM_BASIS)
+        assert set(inst.name for inst in decomposed) <= set(IBM_BASIS) | {"id"}
+        assert_same_output_distribution(circuit, decomposed)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_sycamore_basis_preserves_output(self, seed):
+        circuit = random_circuit(seed)
+        decomposed = decompose_to_basis(circuit, SYCAMORE_BASIS)
+        assert set(inst.name for inst in decomposed) <= set(SYCAMORE_BASIS) | {"id"}
+        assert_same_output_distribution(circuit, decomposed)
+
+    def test_decomposition_increases_gate_count(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).swap(0, 1)
+        decomposed = decompose_to_basis(circuit, IBM_BASIS)
+        assert len(decomposed) > len(circuit)
+
+
+class TestRouting:
+    def test_adjacent_gates_need_no_swaps(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2)
+        routed = route_circuit(circuit, linear_coupling(3))
+        assert routed.num_swaps == 0
+        assert routed.final_layout == (0, 1, 2)
+
+    def test_distant_gate_inserts_swaps(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 3)
+        routed = route_circuit(circuit, linear_coupling(4))
+        assert routed.num_swaps == 2
+        # Every two-qubit gate in the routed circuit respects the coupling map.
+        cmap = linear_coupling(4)
+        for instruction in routed.circuit:
+            if instruction.num_qubits == 2:
+                assert cmap.are_coupled(*instruction.qubits)
+
+    def test_routing_preserves_semantics_after_unpermutation(self):
+        circuit = QuantumCircuit(4)
+        circuit.x(0).cx(0, 3).cx(3, 1)
+        routed = route_circuit(circuit, linear_coupling(4))
+        original = simulate_statevector(circuit).measurement_distribution()
+        physical = simulate_statevector(routed.circuit).measurement_distribution()
+        recovered = physical.mapped(routed.measurement_permutation())
+        assert recovered == original
+
+    def test_routing_on_larger_device_restricts_width(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        routed = route_circuit(circuit, grid_coupling(3, 3))
+        assert routed.circuit.num_qubits == 3
+
+    def test_rejects_circuit_wider_than_device(self):
+        with pytest.raises(TranspilerError):
+            route_circuit(QuantumCircuit(5), linear_coupling(3))
+
+
+class TestFullTranspile:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_transpile_preserves_semantics(self, seed):
+        circuit = random_circuit(seed, num_qubits=4, num_gates=10)
+        device = ibm_paris()
+        transpiled = transpile(circuit, coupling_map=device.coupling_map, basis_gates=device.basis_gates)
+        original = simulate_statevector(circuit).measurement_distribution()
+        physical = simulate_statevector(transpiled.circuit).measurement_distribution()
+        recovered = physical.mapped(transpiled.measurement_permutation())
+        for outcome in original.outcomes():
+            assert recovered.probability(outcome) == pytest.approx(
+                original.probability(outcome), abs=1e-7
+            )
+
+    def test_transpile_without_coupling_map(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        transpiled = transpile(circuit, basis_gates=IBM_BASIS)
+        assert transpiled.num_swaps == 0
+        assert set(inst.name for inst in transpiled.circuit) <= set(IBM_BASIS)
+
+    def test_transpile_without_basis(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        transpiled = transpile(circuit, coupling_map=linear_coupling(3))
+        assert transpiled.num_swaps > 0
+        assert any(inst.name == "swap" for inst in transpiled.circuit)
+
+    def test_grid_native_qaoa_needs_no_swaps(self):
+        """Hardware-grid interactions route without SWAPs (the paper's Sycamore advantage)."""
+        from repro.circuits import default_qaoa_parameters, qaoa_circuit
+        from repro.maxcut import grid_graph_problem
+
+        problem = grid_graph_problem(9)
+        circuit = qaoa_circuit(problem, default_qaoa_parameters(1))
+        routed = route_circuit(circuit, grid_coupling(3, 3))
+        assert routed.num_swaps == 0

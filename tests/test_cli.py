@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig8"])
+        assert args.experiment == "fig8"
+        assert args.scale == "small"
+        assert args.qubits is None
+
+    def test_options(self):
+        args = build_parser().parse_args(["fig9", "--scale", "full", "--qubits", "12", "--family", "grid"])
+        assert args.scale == "full"
+        assert args.qubits == 12
+        assert args.family == "grid"
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--scale", "huge"])
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_entry(self):
+        expected = {"fig1a", "fig1b", "fig2", "fig3", "fig5", "fig7", "fig8", "fig9",
+                    "fig10", "fig10b", "fig11", "fig12", "table1", "table2", "table3",
+                    "sec64", "headline"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_exits(self):
+        args = build_parser().parse_args(["fig1a"])
+        with pytest.raises(SystemExit):
+            run_experiment("figure-999", args)
+
+
+class TestExecution:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig8" in output
+        assert "headline" in output
+
+    def test_run_small_experiment(self, capsys):
+        assert main(["table3"]) == 0
+        output = capsys.readouterr().out
+        assert "table3_operation_counts" in output
+        assert "operations_billion" in output
+
+    def test_run_fig1a(self, capsys):
+        assert main(["fig1a", "--qubits", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "figure1a_bv_histogram" in output
+        assert "correct_probability" in output
+
+    def test_run_fig5(self, capsys):
+        assert main(["fig5", "--qubits", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "figure5_neighbor_costs" in output

@@ -1,0 +1,130 @@
+"""End-to-end integration tests: circuit → noisy histogram → HAMMER → metrics.
+
+These tests exercise the full public API the way the examples and benchmarks
+do, asserting the paper's qualitative claims on small instances:
+
+* HAMMER improves PST/IST for BV circuits whose baseline output is noisy;
+* HAMMER improves the Cost Ratio and reduces TVD for QAOA circuits;
+* the erroneous outcomes it exploits really are clustered in Hamming space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Distribution, HammerConfig, hammer
+from repro.baselines import ReadoutCalibration, ReadoutMitigationStage
+from repro.circuits import bernstein_vazirani, default_qaoa_parameters, ghz_circuit, ghz_correct_outcomes, qaoa_circuit
+from repro.core import HammerStage, PostProcessingPipeline, TruncationStage, expected_hamming_distance, uniform_model_ehd
+from repro.maxcut import CutCostEvaluator, regular_graph_problem
+from repro.metrics import (
+    cost_ratio,
+    inference_strength,
+    probability_of_successful_trial,
+    total_variation_distance,
+)
+from repro.quantum import NoisySampler, get_device, ideal_distribution, transpile
+
+
+@pytest.fixture(scope="module")
+def paris():
+    return get_device("ibm-paris")
+
+
+class TestBvEndToEnd:
+    @pytest.fixture(scope="class")
+    def bv_run(self):
+        device = get_device("ibm-paris")
+        key = "10110101"
+        circuit = bernstein_vazirani(key)
+        transpiled = transpile(circuit, coupling_map=device.coupling_map, basis_gates=device.basis_gates)
+        sampler = NoisySampler(device.noise_model, shots=8192, seed=17)
+        noisy = sampler.run(transpiled.circuit).mapped(transpiled.measurement_permutation())
+        return key, noisy
+
+    def test_baseline_is_noisy_but_structured(self, bv_run):
+        key, noisy = bv_run
+        assert probability_of_successful_trial(noisy, key) < 0.9
+        assert expected_hamming_distance(noisy, [key]) < uniform_model_ehd(len(key))
+
+    def test_hammer_improves_pst_and_ist(self, bv_run):
+        key, noisy = bv_run
+        corrected = hammer(noisy)
+        assert probability_of_successful_trial(corrected, key) > probability_of_successful_trial(noisy, key)
+        assert inference_strength(corrected, key) > inference_strength(noisy, key)
+
+    def test_hammer_makes_key_the_argmax(self, bv_run):
+        key, noisy = bv_run
+        assert hammer(noisy).most_probable() == key
+
+
+class TestGhzEndToEnd:
+    def test_hammer_boosts_ghz_correct_mass(self, paris):
+        circuit = ghz_circuit(8)
+        correct = ghz_correct_outcomes(8)
+        sampler = NoisySampler(paris.noise_model.scaled(2.0), shots=8192, seed=23)
+        noisy = sampler.run(circuit)
+        corrected = hammer(noisy)
+        assert probability_of_successful_trial(corrected, correct) > probability_of_successful_trial(
+            noisy, correct
+        )
+
+
+class TestQaoaEndToEnd:
+    @pytest.fixture(scope="class")
+    def qaoa_run(self):
+        device = get_device("google-sycamore")
+        problem = regular_graph_problem(10, 3, seed=9)
+        circuit = qaoa_circuit(problem, default_qaoa_parameters(2))
+        ideal = ideal_distribution(circuit)
+        sampler = NoisySampler(device.noise_model, shots=8192, seed=29)
+        noisy = sampler.run(circuit, ideal=ideal)
+        return problem, ideal, noisy
+
+    def test_noise_degrades_cost_ratio(self, qaoa_run):
+        problem, ideal, noisy = qaoa_run
+        evaluator = CutCostEvaluator(problem)
+        minimum = evaluator.minimum_cost()
+        assert cost_ratio(noisy, evaluator.cost, minimum) < cost_ratio(ideal, evaluator.cost, minimum)
+
+    def test_hammer_improves_cost_ratio(self, qaoa_run):
+        problem, _, noisy = qaoa_run
+        evaluator = CutCostEvaluator(problem)
+        minimum = evaluator.minimum_cost()
+        corrected = hammer(noisy)
+        assert cost_ratio(corrected, evaluator.cost, minimum) > cost_ratio(noisy, evaluator.cost, minimum)
+
+    def test_hammer_reduces_tvd_to_ideal(self, qaoa_run):
+        _, ideal, noisy = qaoa_run
+        corrected = hammer(noisy)
+        assert total_variation_distance(corrected, ideal) < total_variation_distance(noisy, ideal)
+
+
+class TestPipelineEndToEnd:
+    def test_readout_mitigation_then_hammer(self, paris):
+        key = "111111"
+        circuit = bernstein_vazirani(key)
+        sampler = NoisySampler(paris.noise_model.scaled(2.0), shots=8192, seed=31)
+        noisy = sampler.run(circuit)
+        calibration = ReadoutCalibration.from_readout_error(
+            paris.noise_model.scaled(2.0).readout_error, len(key)
+        )
+        pipeline = PostProcessingPipeline(
+            [ReadoutMitigationStage(calibration), TruncationStage(top_k=500), HammerStage(HammerConfig())]
+        )
+        corrected = pipeline(noisy)
+        assert probability_of_successful_trial(corrected, key) > probability_of_successful_trial(noisy, key)
+
+    def test_hammer_handles_large_support(self):
+        rng = np.random.default_rng(41)
+        data = {}
+        correct = "1" * 14
+        data[correct] = 400.0
+        while len(data) < 3000:
+            outcome = "".join(rng.choice(["0", "1"], size=14))
+            data[outcome] = float(rng.integers(1, 5))
+        noisy = Distribution(data, num_bits=14)
+        corrected = hammer(noisy)
+        assert corrected.most_probable() == correct
+        assert sum(corrected.probabilities().values()) == pytest.approx(1.0)
