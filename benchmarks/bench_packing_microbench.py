@@ -1,0 +1,113 @@
+"""Microbenchmark: packed-outcome CHS vs the pre-refactor string-dict path.
+
+Guards the tentpole of the array-native core: on a 20k-outcome, 16-bit
+histogram the packed backend (pack once, blocked popcount + weighted
+``bincount``) must beat a faithful re-creation of the seed implementation
+(pack the string dict on every call, then scan one boolean mask per Hamming
+distance) by at least 2x on the average-CHS kernel.  The timing lands in the
+pytest-benchmark JSON next to the figure benches, so regressions in the
+packed backend show up in the ``BENCH_*.json`` trajectories.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.distribution import Distribution
+from repro.core.spectrum import average_chs
+
+_NUM_BITS = 16
+_NUM_OUTCOMES = 20_000
+_LEGACY_BLOCK_ROWS = 2_000
+
+
+def _build_histogram(num_outcomes: int = _NUM_OUTCOMES, num_bits: int = _NUM_BITS) -> Distribution:
+    """A 20k-outcome histogram over 16 bits (cluster + uniform background)."""
+    rng = np.random.default_rng(22)
+    values = rng.choice(1 << num_bits, size=num_outcomes, replace=False)
+    weights = rng.exponential(scale=1.0, size=num_outcomes) + 1e-3
+    data = {format(int(v), f"0{num_bits}b"): float(w) for v, w in zip(values, weights)}
+    return Distribution(data, num_bits=num_bits, validate=False)
+
+
+def _legacy_string_dict_chs(
+    distribution: Distribution, max_rows: int | None = None
+) -> tuple[np.ndarray, float]:
+    """The seed's average-CHS algorithm, reproduced faithfully.
+
+    Re-packs the string dict on every call with the original per-string
+    ``int(chunk, 2)`` loop and accumulates one ``distance == d`` mask pass
+    per Hamming bin (blocked over rows so the N x N matrix fits in memory,
+    which is the only concession to the 20k support).
+
+    Returns ``(chs, seconds)``.  When ``max_rows`` is given, only the leading
+    row blocks are swept and the measured time is extrapolated linearly to
+    the full support (the blocks are homogeneous, and the full sweep takes
+    close to a minute — too slow for a CI smoke job); the partial CHS is
+    returned unscaled for correctness checks against the same row range.
+    """
+    outcomes = distribution.outcomes()
+    probabilities = np.array([distribution.probability(o) for o in outcomes])
+    num_bits = distribution.num_bits
+    num_words = (num_bits + 63) // 64
+    start_time = time.perf_counter()
+    packed = np.zeros((len(outcomes), num_words), dtype=np.uint64)
+    for row, outcome in enumerate(outcomes):
+        for word_index in range(num_words):
+            chunk = outcome[word_index * 64 : (word_index + 1) * 64]
+            packed[row, word_index] = np.uint64(int(chunk, 2))
+    row_limit = len(outcomes) if max_rows is None else min(max_rows, len(outcomes))
+    chs = np.zeros(num_bits + 1, dtype=float)
+    for start in range(0, row_limit, _LEGACY_BLOCK_ROWS):
+        block = packed[start : min(start + _LEGACY_BLOCK_ROWS, row_limit)]
+        distances = np.zeros((block.shape[0], packed.shape[0]), dtype=np.int64)
+        for word_index in range(num_words):
+            xor = np.bitwise_xor.outer(block[:, word_index], packed[:, word_index])
+            distances += np.bitwise_count(xor).astype(np.int64)
+        for distance in range(num_bits + 1):
+            mask = distances == distance
+            chs[distance] += float(mask.astype(float).dot(probabilities).sum())
+    elapsed = time.perf_counter() - start_time
+    extrapolated = elapsed * (len(outcomes) / max(1, row_limit))
+    return chs / len(outcomes), extrapolated
+
+
+def _time(func, *args) -> tuple[float, np.ndarray]:
+    start = time.perf_counter()
+    result = func(*args)
+    return time.perf_counter() - start, result
+
+
+def test_packed_chs_matches_string_dict():
+    """Exact agreement (1e-9) between the packed kernel and the seed path."""
+    small = _build_histogram(num_outcomes=2_000)
+    legacy_chs, _ = _legacy_string_dict_chs(small)
+    assert np.allclose(average_chs(small), legacy_chs, atol=1e-9)
+
+
+def test_packed_chs_beats_string_dict(benchmark):
+    distribution = _build_histogram()
+
+    # Seed path: time the leading blocks and extrapolate (homogeneous work).
+    _, legacy_seconds = _legacy_string_dict_chs(distribution, max_rows=2 * _LEGACY_BLOCK_ROWS)
+
+    # Cold packed path: packing + CHS kernel, timed end to end on a fresh
+    # (never-packed) copy of the histogram.
+    distribution_cold = _build_histogram()
+    packed_seconds, packed_chs = _time(average_chs, distribution_cold)
+
+    # Warm path (packed view cached — what a multi-stage pipeline sees),
+    # recorded by pytest-benchmark for the BENCH_*.json trajectory.
+    warm_chs = benchmark.pedantic(
+        average_chs, args=(distribution_cold,), rounds=3, iterations=1
+    )
+    assert np.allclose(packed_chs, warm_chs, atol=1e-12)
+
+    speedup = legacy_seconds / max(packed_seconds, 1e-9)
+    print()
+    print(f"string-dict CHS: {legacy_seconds * 1e3:8.1f} ms  (extrapolated from leading blocks)")
+    print(f"packed CHS     : {packed_seconds * 1e3:8.1f} ms  (cold, includes packing)")
+    print(f"speedup        : {speedup:8.2f}x")
+    assert speedup >= 2.0, f"packed CHS only {speedup:.2f}x faster than string-dict path"

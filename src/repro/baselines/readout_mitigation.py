@@ -81,30 +81,32 @@ def mitigate_readout(distribution: Distribution, calibration: ReadoutCalibration
             f"{distribution.num_bits} bits"
         )
     inverses = calibration.inverse_matrices()
-    outcomes = distribution.outcomes()
-    probabilities = np.array([distribution.probability(o) for o in outcomes])
-    bits = np.array([[1 if ch == "1" else 0 for ch in outcome] for outcome in outcomes], dtype=int)
+    packed = distribution.packed()
+    probabilities = packed.probabilities
+    bits = packed.bit_matrix()
+    num_outcomes = packed.num_outcomes
 
-    corrected = np.zeros(len(outcomes), dtype=float)
-    for target_index, target_bits in enumerate(bits):
+    corrected = np.zeros(num_outcomes, dtype=float)
+    for target_index in range(num_outcomes):
         # Π_k (M_k^{-1})[target_k, y_k] for every observed y, vectorised over y.
-        factors = np.ones(len(outcomes), dtype=float)
+        factors = np.ones(num_outcomes, dtype=float)
         for qubit, inverse in enumerate(inverses):
-            factors *= inverse[target_bits[qubit], bits[:, qubit]]
+            factors *= inverse[bits[target_index, qubit], bits[:, qubit]]
         corrected[target_index] = float(np.dot(factors, probabilities))
 
     corrected = np.clip(corrected, 0.0, None)
     total = corrected.sum()
     if total <= 0:
         return distribution.normalized()
-    data = {
-        outcome: float(value / total)
-        for outcome, value in zip(outcomes, corrected)
-        if value > 0
-    }
-    if not data:
+    kept = np.nonzero(corrected > 0)[0]
+    if kept.size == 0:
         return distribution.normalized()
-    return Distribution(data, num_bits=distribution.num_bits, validate=False)
+    # Keep the surviving support as a slice of the existing packed words so a
+    # downstream HAMMER stage reuses the packing instead of rebuilding it.
+    survivors = packed.subset(kept)
+    return Distribution.from_packed(
+        survivors.with_probabilities(corrected[kept] / corrected[kept].sum())
+    )
 
 
 class ReadoutMitigationStage(PostProcessingStage):

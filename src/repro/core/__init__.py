@@ -15,6 +15,7 @@ Public surface:
 
 from repro.core import variants
 from repro.core.bitstring import (
+    PackedOutcomes,
     all_bitstrings,
     bitstring_to_int,
     flip_bits,
@@ -22,8 +23,10 @@ from repro.core.bitstring import (
     hamming_weight,
     int_to_bitstring,
     neighbors_at_distance,
+    pack_bit_matrix,
     pairwise_hamming_matrix,
     random_bitstring,
+    unpack_bit_matrix,
     validate_bitstring,
 )
 from repro.core.distribution import Distribution
@@ -55,7 +58,8 @@ from repro.core.weights import (
 )
 
 __all__ = [
-    # bitstrings
+    # bitstrings / packed backend
+    "PackedOutcomes",
     "all_bitstrings",
     "bitstring_to_int",
     "flip_bits",
@@ -63,8 +67,10 @@ __all__ = [
     "hamming_weight",
     "int_to_bitstring",
     "neighbors_at_distance",
+    "pack_bit_matrix",
     "pairwise_hamming_matrix",
     "random_bitstring",
+    "unpack_bit_matrix",
     "validate_bitstring",
     # distribution
     "Distribution",

@@ -1,13 +1,18 @@
-"""Bitstring utilities used throughout the HAMMER reproduction.
+"""Bitstring utilities and the packed-outcome backend of the reproduction.
 
-Outcomes of a quantum circuit measurement are represented as Python strings
-over the alphabet ``{"0", "1"}``.  The functions here provide validated
-conversions between strings and integers, Hamming-distance computations
-(scalar and vectorised), and neighbourhood enumeration in the Hamming space.
+Outcomes of a quantum circuit measurement are represented at the API surface
+as Python strings over the alphabet ``{"0", "1"}``.  Internally every hot
+path operates on :class:`PackedOutcomes` — a set of outcomes packed into
+``uint64`` words (64 bits per word, MSB first, last word right-aligned)
+alongside a cached probability vector.  Packing happens once per histogram;
+all Hamming arithmetic (pairwise distances, CHS accumulation, spectra) is
+then popcount + ``bincount`` work on the packed words with no string
+round-trips.
 
-The vectorised helpers operate on ``numpy`` integer arrays so that the
-``O(N^2)`` pairwise Hamming-distance computations at the heart of HAMMER can
-be carried out with popcount arithmetic rather than per-character loops.
+The scalar helpers (validation, int conversions, neighbour enumeration)
+remain string-based; the bulk helpers (:func:`pack_bitstrings`,
+:func:`pairwise_hamming_matrix`, :func:`hamming_distance_to_reference`) are
+thin wrappers over the packed representation.
 """
 
 from __future__ import annotations
@@ -28,6 +33,10 @@ __all__ = [
     "neighbors_at_distance",
     "all_bitstrings",
     "random_bitstring",
+    "PackedOutcomes",
+    "pack_bit_matrix",
+    "unpack_bit_matrix",
+    "xor_distance_histogram",
     "pack_bitstrings",
     "pairwise_hamming_matrix",
     "hamming_distance_to_reference",
@@ -158,6 +167,391 @@ def random_bitstring(num_bits: int, rng: np.random.Generator | None = None) -> s
     return "".join("1" if bit else "0" for bit in bits)
 
 
+def _popcount(values: np.ndarray) -> np.ndarray:
+    """Vectorised popcount for uint64 arrays."""
+    return np.bitwise_count(values)
+
+
+def pack_bit_matrix(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(N, width)`` 0/1 matrix into ``(N, ceil(width/64))`` uint64 words.
+
+    Bit layout matches :func:`pack_bitstrings`: word ``w`` holds bit columns
+    ``[64w, 64w + 64)`` MSB-first; the final word is right-aligned in its low
+    bits when ``width`` is not a multiple of 64.
+    """
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    if bits.ndim != 2:
+        raise BitstringError(f"expected a 2-D bit matrix, got ndim={bits.ndim}")
+    n_rows, width = bits.shape
+    if width == 0:
+        raise BitstringError("bit matrix must have at least one column")
+    if bits.size and not np.all(bits <= 1):
+        raise BitstringError("bit matrix contains values outside {0, 1}")
+    num_words = (width + 63) // 64
+    words = np.zeros((n_rows, num_words), dtype=np.uint64)
+    if n_rows == 0:
+        return words
+    for word_index in range(num_words):
+        lo = word_index * 64
+        hi = min(lo + 64, width)
+        columns = bits[:, lo:hi]
+        pad = 64 - (hi - lo)
+        if pad:
+            columns = np.concatenate(
+                [np.zeros((n_rows, pad), dtype=np.uint8), columns], axis=1
+            )
+        words[:, word_index] = np.packbits(columns, axis=1).view(">u8").ravel()
+    return words
+
+
+def unpack_bit_matrix(words: np.ndarray, num_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bit_matrix`: uint64 words back to a 0/1 matrix."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise BitstringError(f"expected a 2-D word array, got ndim={words.ndim}")
+    n_rows = words.shape[0]
+    if words.shape[1] != (num_bits + 63) // 64:
+        raise BitstringError(
+            f"word count {words.shape[1]} does not match width {num_bits}"
+        )
+    bits = np.empty((n_rows, num_bits), dtype=np.uint8)
+    for word_index in range(words.shape[1]):
+        lo = word_index * 64
+        hi = min(lo + 64, num_bits)
+        word_bytes = words[:, word_index].astype(">u8").view(np.uint8).reshape(n_rows, 8)
+        unpacked = np.unpackbits(word_bytes, axis=1)
+        bits[:, lo:hi] = unpacked[:, 64 - (hi - lo) :]
+    return bits
+
+
+def _bit_matrix_from_strings(bitstrings: Sequence[str], width: int) -> np.ndarray:
+    """Decode equal-width bitstrings into a ``(N, width)`` uint8 0/1 matrix."""
+    try:
+        joined = "".join(bitstrings).encode("ascii")
+    except (TypeError, UnicodeEncodeError) as error:
+        raise BitstringError(f"bitstrings must be ASCII '0'/'1' strings: {error}") from error
+    if len(joined) != len(bitstrings) * width:
+        raise BitstringError("all bitstrings must share the same width")
+    codes = np.frombuffer(joined, dtype=np.uint8).reshape(len(bitstrings), width)
+    bits = codes - np.uint8(ord("0"))
+    if not np.all(bits <= 1):
+        raise BitstringError("bitstrings contain characters outside '0'/'1'")
+    return bits
+
+
+def _strings_from_bit_matrix(bits: np.ndarray) -> list[str]:
+    """Render a ``(N, width)`` 0/1 matrix into bitstrings with one decode."""
+    n_rows, width = bits.shape
+    text = (bits + np.uint8(ord("0"))).tobytes().decode("ascii")
+    return [text[row * width : (row + 1) * width] for row in range(n_rows)]
+
+
+class PackedOutcomes:
+    """A histogram support packed into uint64 words, plus its probabilities.
+
+    This is the canonical internal representation of a measurement histogram:
+    ``words[i]`` holds outcome ``i`` packed MSB-first into 64-bit words (see
+    :func:`pack_bit_matrix` for the exact layout) and ``probabilities[i]`` its
+    normalised probability (``None`` when the support carries no weights,
+    e.g. a correct-answer set).  String and bit-matrix renderings are cached
+    so each conversion happens at most once per object; derived objects
+    (:meth:`with_probabilities`, :meth:`subset`) share the packed words and
+    caches instead of re-packing.
+    """
+
+    __slots__ = ("words", "num_bits", "probabilities", "_strings", "_bits")
+
+    def __init__(
+        self,
+        words: np.ndarray,
+        num_bits: int,
+        probabilities: np.ndarray | None = None,
+        _strings: list[str] | None = None,
+        _bits: np.ndarray | None = None,
+    ) -> None:
+        if num_bits <= 0:
+            raise BitstringError(f"num_bits must be positive, got {num_bits}")
+        words = np.asarray(words, dtype=np.uint64)
+        if words.ndim != 2 or words.shape[1] != (num_bits + 63) // 64:
+            raise BitstringError(
+                f"packed words of shape {words.shape} do not match width {num_bits}"
+            )
+        self.words = words
+        self.num_bits = num_bits
+        if probabilities is not None:
+            probabilities = np.asarray(probabilities, dtype=float)
+            if probabilities.shape != (words.shape[0],):
+                raise BitstringError("probability vector length does not match outcome count")
+        self.probabilities = probabilities
+        self._strings = _strings
+        self._bits = _bits
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_strings(
+        cls,
+        bitstrings: Sequence[str],
+        probabilities: np.ndarray | None = None,
+        num_bits: int | None = None,
+        validate: bool = True,
+    ) -> "PackedOutcomes":
+        """Pack a sequence of equal-width bitstrings (vectorised, one decode)."""
+        bitstrings = list(bitstrings)
+        if not bitstrings:
+            raise BitstringError("cannot pack an empty sequence of bitstrings")
+        width = num_bits if num_bits is not None else len(bitstrings[0])
+        if validate:
+            for bitstring in bitstrings:
+                validate_bitstring(bitstring, num_bits=width)
+        bits = _bit_matrix_from_strings(bitstrings, width)
+        return cls(
+            pack_bit_matrix(bits), width, probabilities, _strings=bitstrings, _bits=bits
+        )
+
+    @classmethod
+    def from_bit_matrix(
+        cls, bits: np.ndarray, probabilities: np.ndarray | None = None
+    ) -> "PackedOutcomes":
+        """Pack the rows of a ``(N, width)`` 0/1 matrix, one outcome per row."""
+        bits = np.ascontiguousarray(bits, dtype=np.uint8)
+        if bits.ndim != 2 or bits.shape[1] == 0:
+            raise BitstringError(f"expected a non-empty 2-D bit matrix, got shape {bits.shape}")
+        return cls(pack_bit_matrix(bits), bits.shape[1], probabilities, _bits=bits)
+
+    @classmethod
+    def aggregate_bit_matrix(
+        cls, bits: np.ndarray, weights: np.ndarray | None = None
+    ) -> tuple["PackedOutcomes", np.ndarray]:
+        """Deduplicate the rows of a ``(shots, width)`` sample matrix.
+
+        Returns the unique outcomes (sorted ascending by value, which makes
+        histogram construction deterministic regardless of shot order) and the
+        per-outcome aggregated weight — shot counts when ``weights`` is
+        omitted, weighted sums otherwise.  This is the histogram-building
+        kernel behind :meth:`Distribution.from_bit_matrix` (and the weighted
+        merges ``mapped`` / ``marginal`` / ``merged_with`` reduce to).  Only
+        the unique support is ever rendered to strings, never the rows.
+        """
+        bits = np.ascontiguousarray(bits, dtype=np.uint8)
+        if bits.ndim != 2 or bits.shape[0] == 0 or bits.shape[1] == 0:
+            raise BitstringError(
+                f"expected a non-empty (shots, width) matrix, got shape {bits.shape}"
+            )
+        words = pack_bit_matrix(bits)
+        return cls._aggregate_words(words, bits.shape[1], weights)
+
+    @classmethod
+    def _aggregate_words(
+        cls, words: np.ndarray, num_bits: int, weights: np.ndarray | None = None
+    ) -> tuple["PackedOutcomes", np.ndarray]:
+        """Deduplicate already-packed rows, summing ``weights`` per unique row."""
+        unique_words, inverse = np.unique(words, axis=0, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        if weights is None:
+            totals = np.bincount(inverse, minlength=unique_words.shape[0]).astype(float)
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (words.shape[0],):
+                raise BitstringError("weight vector length does not match row count")
+            totals = np.bincount(inverse, weights=weights, minlength=unique_words.shape[0])
+        return cls(unique_words, num_bits), totals
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def num_outcomes(self) -> int:
+        """Number of outcomes (rows)."""
+        return int(self.words.shape[0])
+
+    def bit_matrix(self) -> np.ndarray:
+        """The ``(N, num_bits)`` 0/1 matrix view (cached)."""
+        if self._bits is None:
+            self._bits = unpack_bit_matrix(self.words, self.num_bits)
+        return self._bits
+
+    def to_strings(self) -> list[str]:
+        """The outcome bitstrings, row order preserved (cached)."""
+        if self._strings is None:
+            self._strings = _strings_from_bit_matrix(self.bit_matrix())
+        return self._strings
+
+    def with_probabilities(self, probabilities: np.ndarray) -> "PackedOutcomes":
+        """A view over the same support with a different probability vector."""
+        return PackedOutcomes(
+            self.words,
+            self.num_bits,
+            probabilities,
+            _strings=self._strings,
+            _bits=self._bits,
+        )
+
+    def subset(self, indices: np.ndarray) -> "PackedOutcomes":
+        """Restrict to the rows in ``indices`` (order given by ``indices``)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        strings = self._strings
+        return PackedOutcomes(
+            self.words[indices],
+            self.num_bits,
+            self.probabilities[indices] if self.probabilities is not None else None,
+            _strings=[strings[i] for i in indices] if strings is not None else None,
+            _bits=self._bits[indices] if self._bits is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Hamming arithmetic (popcount kernels)
+    # ------------------------------------------------------------------
+    def block_distances(
+        self, start: int, stop: int, other: "PackedOutcomes | None" = None
+    ) -> np.ndarray:
+        """Distances between rows ``[start, stop)`` and every row of ``other``.
+
+        ``other`` defaults to ``self``; this is the blocked kernel behind the
+        O(N^2) pairwise structure (bounded memory: one block at a time).
+        """
+        target = self if other is None else other
+        if target.num_bits != self.num_bits:
+            raise BitstringError("cannot compare packed outcomes of different widths")
+        block = self.words[start:stop]
+        distances = np.zeros((block.shape[0], target.words.shape[0]), dtype=np.int64)
+        for word_index in range(self.words.shape[1]):
+            xor = np.bitwise_xor.outer(block[:, word_index], target.words[:, word_index])
+            distances += _popcount(xor).astype(np.int64)
+        return distances
+
+    def distances_to_reference(self, reference: "str | np.ndarray") -> np.ndarray:
+        """Hamming distance of every row to a single reference outcome."""
+        if isinstance(reference, str):
+            validate_bitstring(reference, num_bits=self.num_bits)
+            reference_words = pack_bit_matrix(
+                _bit_matrix_from_strings([reference], self.num_bits)
+            )[0]
+        else:
+            reference_words = np.asarray(reference, dtype=np.uint64)
+            if reference_words.shape != (self.words.shape[1],):
+                raise BitstringError("reference width does not match bitstring width")
+        distances = np.zeros(self.words.shape[0], dtype=np.int64)
+        for word_index in range(self.words.shape[1]):
+            xor = np.bitwise_xor(self.words[:, word_index], reference_words[word_index])
+            distances += _popcount(xor).astype(np.int64)
+        return distances
+
+    def min_distances_to(self, other: "PackedOutcomes") -> np.ndarray:
+        """Shortest distance of each row to any row of ``other``.
+
+        Evaluated one reference row at a time so memory stays ``O(N)`` even
+        for large correct-answer sets.
+        """
+        if other.num_bits != self.num_bits:
+            raise BitstringError("cannot compare packed outcomes of different widths")
+        best = np.full(self.words.shape[0], self.num_bits, dtype=np.int64)
+        for row in range(other.words.shape[0]):
+            np.minimum(best, self.distances_to_reference(other.words[row]), out=best)
+        return best
+
+
+#: Widest register for which the dense Walsh–Hadamard CHS path is considered
+#: (2**20 float64 work vectors = 8 MiB each).
+_DENSE_CHS_MAX_BITS = 20
+
+#: Target number of pairwise-distance entries held in memory at once.  Every
+#: O(N^2) Hamming kernel (HAMMER's block loops, the blocked CHS fallback)
+#: evaluates row blocks sized from this single budget so that histograms with
+#: tens of thousands of unique outcomes fit comfortably in memory (the paper
+#: reports ~20K unique outcomes for its largest instance).
+_BLOCK_ENTRY_BUDGET = 4_000_000
+
+
+def pairwise_block_size(num_outcomes: int) -> int:
+    """Rows per block for an ``O(N^2)`` pairwise sweep under the entry budget."""
+    return max(1, min(num_outcomes, _BLOCK_ENTRY_BUDGET // max(1, num_outcomes)))
+
+
+def _walsh_hadamard_inplace(vector: np.ndarray) -> np.ndarray:
+    """Unnormalised fast Walsh–Hadamard transform, O(n * 2**n)."""
+    half = 1
+    size = vector.size
+    while half < size:
+        paired = vector.reshape(-1, 2 * half)
+        left = paired[:, :half].copy()
+        right = paired[:, half:].copy()
+        paired[:, :half] = left + right
+        paired[:, half:] = left - right
+        half *= 2
+    return vector
+
+
+def _dense_xor_distance_histogram(
+    packed: "PackedOutcomes", weights: np.ndarray, limit: int
+) -> np.ndarray:
+    """CHS via the XOR-convolution theorem on the dense hypercube.
+
+    ``chs[d] = Σ_{x,y: d(x,y)=d} w(y)`` equals the sum of the XOR-convolution
+    ``(f ⊛ w)(z) = Σ_x f(x) w(x ⊕ z)`` (``f`` the support indicator) over all
+    ``z`` of popcount ``d`` — three Walsh–Hadamard transforms instead of an
+    ``O(N^2)`` pairwise sweep.
+    """
+    num_bits = packed.num_bits
+    size = 1 << num_bits
+    indices = packed.words[:, 0].astype(np.int64)
+    support = np.zeros(size, dtype=float)
+    support[indices] = 1.0
+    weighted = np.zeros(size, dtype=float)
+    weighted[indices] = weights
+    product = _walsh_hadamard_inplace(support) * _walsh_hadamard_inplace(weighted)
+    convolution = _walsh_hadamard_inplace(product) / size
+    popcounts = np.bitwise_count(np.arange(size, dtype=np.uint64)).astype(np.int64)
+    histogram = np.bincount(popcounts, weights=convolution, minlength=num_bits + 1)[
+        : num_bits + 1
+    ]
+    # The transform leaves ~1e-13-relative fuzz where the exact answer is 0;
+    # snap it out so downstream 1/CHS weighting never divides by noise.
+    histogram[np.abs(histogram) < 1e-10 * max(1.0, float(np.abs(histogram).max()))] = 0.0
+    np.clip(histogram, 0.0, None, out=histogram)
+    histogram[limit + 1 :] = 0.0
+    return histogram
+
+
+def xor_distance_histogram(
+    packed: "PackedOutcomes", weights: np.ndarray, limit: int
+) -> np.ndarray:
+    """Per-distance pair mass ``chs[d] = Σ_{x,y: d(x,y)=d, d<=limit} w(y)``.
+
+    This is the step-1 kernel of HAMMER and the body of ``average_chs``.  Two
+    strategies, chosen by cost model:
+
+    * **dense** — for narrow registers where ``O(n * 2**n)`` Walsh–Hadamard
+      work beats the ``O(N^2)`` pairwise sweep (large supports);
+    * **blocked** — popcount distances in fixed-size row blocks, one weighted
+      ``bincount`` per block (bounded memory, no strings anywhere).
+
+    Always returns a vector of length ``num_bits + 1`` with zeros beyond
+    ``limit``.
+    """
+    num_bits = packed.num_bits
+    num_outcomes = packed.num_outcomes
+    limit = min(limit, num_bits)
+    chs = np.zeros(num_bits + 1, dtype=float)
+    if limit < 0:
+        return chs
+    dense_cost = (3 * num_bits + 1) * (1 << num_bits) if num_bits <= _DENSE_CHS_MAX_BITS else None
+    if dense_cost is not None and dense_cost < num_outcomes * num_outcomes:
+        return _dense_xor_distance_histogram(packed, weights, limit)
+    block_size = pairwise_block_size(num_outcomes)
+    for start in range(0, num_outcomes, block_size):
+        distances = packed.block_distances(start, min(start + block_size, num_outcomes))
+        within = distances <= limit
+        if within.any():
+            chs[: limit + 1] += np.bincount(
+                distances[within],
+                weights=np.broadcast_to(weights, distances.shape)[within],
+                minlength=limit + 1,
+            )[: limit + 1]
+    return chs
+
+
 def pack_bitstrings(bitstrings: Sequence[str]) -> np.ndarray:
     """Pack bitstrings into a 2-D uint64 array for fast Hamming arithmetic.
 
@@ -171,22 +565,7 @@ def pack_bitstrings(bitstrings: Sequence[str]) -> np.ndarray:
         Array of shape ``(len(bitstrings), ceil(width / 64))`` and dtype
         ``uint64``.
     """
-    if not bitstrings:
-        raise BitstringError("cannot pack an empty sequence of bitstrings")
-    width = len(bitstrings[0])
-    num_words = (width + 63) // 64
-    packed = np.zeros((len(bitstrings), num_words), dtype=np.uint64)
-    for row, bitstring in enumerate(bitstrings):
-        validate_bitstring(bitstring, num_bits=width)
-        for word_index in range(num_words):
-            chunk = bitstring[word_index * 64 : (word_index + 1) * 64]
-            packed[row, word_index] = np.uint64(int(chunk, 2))
-    return packed
-
-
-def _popcount(values: np.ndarray) -> np.ndarray:
-    """Vectorised popcount for uint64 arrays."""
-    return np.bitwise_count(values)
+    return PackedOutcomes.from_strings(bitstrings).words
 
 
 def pairwise_hamming_matrix(bitstrings: Sequence[str]) -> np.ndarray:
@@ -196,25 +575,14 @@ def pairwise_hamming_matrix(bitstrings: Sequence[str]) -> np.ndarray:
     ``O(N^2 * ceil(width/64))`` word operations rather than ``O(N^2 * width)``
     character comparisons.
     """
-    packed = pack_bitstrings(bitstrings)
-    n_rows = packed.shape[0]
-    distances = np.zeros((n_rows, n_rows), dtype=np.int64)
-    for word_index in range(packed.shape[1]):
-        column = packed[:, word_index]
-        xor = np.bitwise_xor.outer(column, column)
-        distances += _popcount(xor).astype(np.int64)
-    return distances
+    packed = PackedOutcomes.from_strings(bitstrings)
+    return packed.block_distances(0, packed.num_outcomes)
 
 
 def hamming_distance_to_reference(bitstrings: Sequence[str], reference: str) -> np.ndarray:
     """Return Hamming distances from every bitstring to a single reference."""
     validate_bitstring(reference)
-    packed = pack_bitstrings(list(bitstrings))
-    reference_packed = pack_bitstrings([reference])[0]
-    if packed.shape[1] != reference_packed.shape[0]:
+    packed = PackedOutcomes.from_strings(list(bitstrings))
+    if len(reference) != packed.num_bits:
         raise BitstringError("reference width does not match bitstring width")
-    distances = np.zeros(packed.shape[0], dtype=np.int64)
-    for word_index in range(packed.shape[1]):
-        xor = np.bitwise_xor(packed[:, word_index], reference_packed[word_index])
-        distances += _popcount(xor).astype(np.int64)
-    return distances
+    return packed.distances_to_reference(reference)

@@ -18,10 +18,15 @@ Two implementations are provided:
 
 * :func:`hammer_reference` — a direct transcription of Algorithm 1 with
   explicit double loops; used as the ground truth in tests.
-* :func:`hammer` — a vectorised implementation that packs bitstrings into
-  64-bit words and evaluates the ``O(N^2)`` pairwise Hamming structure with
-  numpy popcounts; this is the implementation the experiments and benchmarks
-  use.
+* :func:`hammer` — a vectorised implementation operating on the
+  distribution's cached :class:`~repro.core.bitstring.PackedOutcomes` view
+  (uint64 words + probability vector).  The ``O(N^2)`` pairwise Hamming
+  structure is evaluated with numpy popcounts in fixed-size row blocks and
+  the per-distance CHS accumulation is a weighted ``bincount``; no strings
+  are materialised anywhere inside the step-1/step-3 block loops.  The
+  reconstructed distribution shares the input's packed words, so chained
+  pipeline stages pack each support exactly once.  This is the
+  implementation the experiments and benchmarks use.
 
 Both accept a :class:`HammerConfig` that exposes the design knobs the paper
 discusses (neighbourhood cutoff, weight scheme, the low-probability filter)
@@ -34,6 +39,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.bitstring import pairwise_block_size, xor_distance_histogram
 from repro.core.distribution import Distribution
 from repro.core.weights import InverseChsWeights, WeightScheme, resolve_weight_scheme
 from repro.exceptions import DistributionError
@@ -169,66 +175,28 @@ def hammer_reference(
     return Distribution(normalized, num_bits=num_bits, validate=False)
 
 
-#: Target number of pairwise-distance entries held in memory at once.  The
-#: O(N^2) Hamming structure is evaluated in row blocks of roughly this many
-#: entries so that histograms with tens of thousands of unique outcomes fit
-#: comfortably in memory (the paper reports ~20K unique outcomes for its
-#: largest instance).
-_BLOCK_ENTRY_BUDGET = 4_000_000
-
-
-def _packed_outcomes(outcomes: list[str]) -> np.ndarray:
-    """Pack outcome bitstrings into uint64 words for popcount arithmetic."""
-    from repro.core.bitstring import pack_bitstrings
-
-    return pack_bitstrings(outcomes)
-
-
-def _block_distances(packed: np.ndarray, row_slice: slice) -> np.ndarray:
-    """Hamming distances between a block of rows and every outcome."""
-    block = packed[row_slice]
-    distances = np.zeros((block.shape[0], packed.shape[0]), dtype=np.int64)
-    for word_index in range(packed.shape[1]):
-        xor = np.bitwise_xor.outer(block[:, word_index], packed[:, word_index])
-        distances += np.bitwise_count(xor).astype(np.int64)
-    return distances
-
-
-def _block_size(num_outcomes: int) -> int:
-    return max(1, min(num_outcomes, _BLOCK_ENTRY_BUDGET // max(1, num_outcomes)))
-
-
 def neighborhood_scores(
     distribution: Distribution, config: HammerConfig | None = None
 ) -> HammerResult:
     """Run HAMMER and return the full :class:`HammerResult` with intermediates.
 
-    This is the vectorised implementation: bitstrings are packed into 64-bit
-    words and the ``O(N^2)`` pairwise Hamming structure is evaluated with
-    popcounts in fixed-size row blocks (bounded memory).  ``hammer(dist)`` is
-    a thin wrapper returning only the reconstructed distribution.
+    This is the vectorised implementation: it reads the distribution's cached
+    packed view (uint64 words + probability vector) and evaluates the
+    ``O(N^2)`` pairwise Hamming structure with popcounts in fixed-size row
+    blocks (bounded memory).  ``hammer(dist)`` is a thin wrapper returning
+    only the reconstructed distribution.
     """
     cfg = config or HammerConfig()
     num_bits = distribution.num_bits
     cutoff = cfg.resolved_cutoff(num_bits)
-    outcomes = distribution.outcomes()
-    probabilities = np.array([distribution.probability(o) for o in outcomes], dtype=float)
-    probabilities = probabilities / probabilities.sum()
-    packed = _packed_outcomes(outcomes)
-    num_outcomes = len(outcomes)
-    block_size = _block_size(num_outcomes)
+    packed = distribution.packed()
+    probabilities = packed.probabilities
+    num_outcomes = packed.num_outcomes
+    block_size = pairwise_block_size(num_outcomes)
 
-    # Step 1: Algorithm-1 style CHS (total P(y) over all ordered pairs per distance).
-    chs = np.zeros(num_bits + 1, dtype=float)
-    for start in range(0, num_outcomes, block_size):
-        distances = _block_distances(packed, slice(start, start + block_size))
-        limit = min(cutoff, num_bits + 1)
-        within = distances < limit
-        if within.any():
-            chs[: limit] += np.bincount(
-                distances[within], weights=np.broadcast_to(probabilities, distances.shape)[within],
-                minlength=limit,
-            )[:limit]
+    # Step 1: Algorithm-1 style CHS (total P(y) over all ordered pairs per
+    # distance), via the shared dense-WHT / blocked-popcount kernel.
+    chs = xor_distance_histogram(packed, probabilities, min(cutoff, num_bits + 1) - 1)
 
     # Step 2: per-distance weights.
     scheme = resolve_weight_scheme(cfg.weight_scheme)
@@ -239,20 +207,20 @@ def neighborhood_scores(
     # Step 3: neighbourhood scores, block by block.
     scores = np.zeros(num_outcomes, dtype=float)
     for start in range(0, num_outcomes, block_size):
-        row_slice = slice(start, min(start + block_size, num_outcomes))
-        distances = _block_distances(packed, row_slice)
+        stop = min(start + block_size, num_outcomes)
+        distances = packed.block_distances(start, stop)
         weight_of_pair = weights[distances]
         within_cutoff = distances < cutoff
         if cfg.use_filter:
-            allowed = probabilities[row_slice.start : row_slice.stop, None] > probabilities[None, :]
+            allowed = probabilities[start:stop, None] > probabilities[None, :]
         else:
             allowed = np.ones_like(within_cutoff, dtype=bool)
-            rows = np.arange(row_slice.start, row_slice.stop)
+            rows = np.arange(start, stop)
             allowed[np.arange(rows.size), rows] = False
         contribution = np.where(
             within_cutoff & allowed, weight_of_pair * probabilities[None, :], 0.0
         )
-        scores[row_slice] = contribution.sum(axis=1)
+        scores[start:stop] = contribution.sum(axis=1)
     if cfg.include_self_probability:
         scores = scores + probabilities
 
@@ -261,16 +229,16 @@ def neighborhood_scores(
     if total <= 0:
         reconstructed = distribution.normalized()
     else:
-        reconstructed = Distribution(
-            {outcome: float(value / total) for outcome, value in zip(outcomes, updated)},
-            num_bits=num_bits,
-            validate=False,
+        # Share the packed words with the output so later pipeline stages
+        # (or a second HAMMER pass) never re-pack the support.
+        reconstructed = Distribution.from_packed(
+            packed.with_probabilities(updated / total)
         )
     return HammerResult(
         distribution=reconstructed,
         weights=weights,
         average_chs=chs,
-        scores={outcome: float(score) for outcome, score in zip(outcomes, scores)},
+        scores={outcome: float(score) for outcome, score in zip(distribution.outcomes(), scores)},
         config=cfg,
     )
 

@@ -10,6 +10,17 @@ expressed declaratively and reused by the experiments, examples and CLI::
         HammerStage(),
     ])
     corrected = pipeline(noisy_distribution)
+
+Pack-once guarantee
+-------------------
+Every built-in stage consumes and produces the packed array view cached on
+:class:`~repro.core.distribution.Distribution` (see
+:meth:`Distribution.packed`): HAMMER emits its output via
+``Distribution.from_packed`` sharing the input's uint64 words, truncation
+slices the packed rows, and the identity/normalisation stages carry the cache
+through.  A multi-stage chain therefore packs the support exactly once — at
+the sampler for simulated histograms (whose bit matrices arrive pre-packed)
+or lazily at the first stage for dict-built histograms.
 """
 
 from __future__ import annotations
@@ -73,7 +84,9 @@ class TruncationStage(PostProcessingStage):
     """Keep only the ``top_k`` most probable outcomes before later stages.
 
     Useful to bound the ``O(N^2)`` cost of HAMMER when the raw histogram has
-    a very long tail of single-shot outcomes.
+    a very long tail of single-shot outcomes.  Ties at the truncation
+    boundary are broken lexicographically (``Distribution.top_k``), so the
+    kept support is deterministic; the packed view is sliced, not re-packed.
     """
 
     name = "truncate"

@@ -21,7 +21,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.bitstring import pairwise_hamming_matrix, validate_bitstring
+from repro.core.bitstring import PackedOutcomes, validate_bitstring, xor_distance_histogram
 from repro.core.distribution import Distribution
 from repro.exceptions import DistributionError
 
@@ -75,6 +75,14 @@ class HammingSpectrum:
         """Probability mass of the correct outcomes (the distance-0 bin)."""
         return float(self.bins[0])
 
+    def expected_distance(self) -> float:
+        """Probability-weighted mean bin index — the EHD of the distribution."""
+        total = float(self.bins.sum())
+        if total <= 0:
+            raise DistributionError("distribution has no probability mass")
+        distances = np.arange(self.num_bits + 1, dtype=float)
+        return float(np.dot(distances, self.bins) / total)
+
     def nonzero_bins(self) -> list[int]:
         """Indices of bins with non-zero probability mass."""
         return [int(d) for d in np.nonzero(self.bins > 0)[0]]
@@ -84,20 +92,25 @@ class HammingSpectrum:
         return [(d, float(p)) for d, p in enumerate(self.bins)]
 
 
-def distance_to_correct_set(outcome: str, correct_outcomes: Sequence[str]) -> int:
-    """Shortest Hamming distance from ``outcome`` to any correct outcome."""
+def _packed_correct_set(correct_outcomes: Sequence[str], num_bits: int) -> PackedOutcomes:
+    """Validate and pack a correct-answer set for popcount comparisons."""
     if not correct_outcomes:
         raise DistributionError("correct_outcomes must not be empty")
-    validate_bitstring(outcome)
-    best = len(outcome)
     for correct in correct_outcomes:
-        validate_bitstring(correct, num_bits=len(outcome))
-        distance = sum(a != b for a, b in zip(outcome, correct))
-        if distance < best:
-            best = distance
-            if best == 0:
-                break
-    return best
+        validate_bitstring(correct, num_bits=num_bits)
+    return PackedOutcomes.from_strings(
+        list(correct_outcomes), num_bits=num_bits, validate=False
+    )
+
+
+def distance_to_correct_set(outcome: str, correct_outcomes: Sequence[str]) -> int:
+    """Shortest Hamming distance from ``outcome`` to any correct outcome.
+
+    Computed with packed-word popcounts rather than per-character comparisons.
+    """
+    validate_bitstring(outcome)
+    correct = _packed_correct_set(correct_outcomes, len(outcome))
+    return int(correct.distances_to_reference(outcome).min())
 
 
 def hamming_spectrum(
@@ -106,19 +119,21 @@ def hamming_spectrum(
     """Compute the Hamming spectrum of ``distribution`` w.r.t. the correct set.
 
     For circuits with multiple correct outcomes the shortest distance to any
-    of them is used, matching Section 3.2 of the paper.
+    of them is used, matching Section 3.2 of the paper.  The per-outcome
+    shortest distances come from the packed view (XOR + popcount against each
+    correct outcome); the bins are one weighted ``bincount``.
     """
-    if not correct_outcomes:
-        raise DistributionError("correct_outcomes must not be empty")
     num_bits = distribution.num_bits
-    for correct in correct_outcomes:
-        validate_bitstring(correct, num_bits=num_bits)
-    bins = np.zeros(num_bits + 1, dtype=float)
+    correct = _packed_correct_set(correct_outcomes, num_bits)
+    packed = distribution.packed()
+    distances = packed.min_distances_to(correct)
+    probabilities = packed.probabilities
+    bins = np.bincount(distances, weights=probabilities, minlength=num_bits + 1)[
+        : num_bits + 1
+    ].astype(float)
     members: list[list[tuple[str, float]]] = [[] for _ in range(num_bits + 1)]
-    for outcome, probability in distribution.items():
-        distance = distance_to_correct_set(outcome, correct_outcomes)
-        bins[distance] += probability
-        members[distance].append((outcome, probability))
+    for outcome, distance, probability in zip(packed.to_strings(), distances, probabilities):
+        members[distance].append((outcome, float(probability)))
     return HammingSpectrum(
         bins=bins,
         bin_members=tuple(tuple(bucket) for bucket in members),
@@ -148,13 +163,12 @@ def cumulative_hamming_strength(
     limit = num_bits if max_distance is None else max_distance
     if limit < 0:
         raise DistributionError(f"max_distance must be >= 0, got {max_distance}")
-    chs = np.zeros(limit + 1, dtype=float)
-    distances = distribution.hamming_distances_to(outcome)
-    probabilities = np.array([p for _, p in distribution.items()])
-    for distance, probability in zip(distances, probabilities):
-        if distance <= limit:
-            chs[distance] += probability
-    return chs
+    packed = distribution.packed()
+    distances = packed.distances_to_reference(outcome)
+    within = distances <= limit
+    return np.bincount(
+        distances[within], weights=packed.probabilities[within], minlength=limit + 1
+    )[: limit + 1].astype(float)
 
 
 def average_chs(distribution: Distribution, max_distance: int | None = None) -> np.ndarray:
@@ -168,19 +182,20 @@ def average_chs(distribution: Distribution, max_distance: int | None = None) -> 
     The computation is the probability-weighted *unnormalised* sum used by
     Algorithm 1 (every ordered pair ``(x, y)`` contributes ``P(y)`` to bin
     ``d(x, y)``), divided by the number of outcomes so the result is an
-    average rather than a sum.
+    average rather than a sum.  It is one call to the shared
+    :func:`~repro.core.bitstring.xor_distance_histogram` kernel (dense
+    Walsh–Hadamard for narrow registers with wide supports, blocked popcount
+    + ``bincount`` otherwise) — no ``N x N`` distance matrix, per-distance
+    mask, or string is ever materialised.
     """
     num_bits = distribution.num_bits
     limit = num_bits if max_distance is None else max_distance
-    outcomes = distribution.outcomes()
-    probabilities = np.array([distribution.probability(o) for o in outcomes])
-    distance_matrix = pairwise_hamming_matrix(outcomes)
-    chs = np.zeros(limit + 1, dtype=float)
-    for distance in range(limit + 1):
-        mask = distance_matrix == distance
-        # Sum of P(y) over all ordered pairs at this distance.
-        chs[distance] = float(mask.astype(float).dot(probabilities).sum())
-    return chs / len(outcomes)
+    packed = distribution.packed()
+    chs = xor_distance_histogram(packed, packed.probabilities, min(limit, num_bits))
+    result = np.zeros(limit + 1, dtype=float)
+    copy_length = min(limit, num_bits) + 1
+    result[:copy_length] = chs[:copy_length]
+    return result / packed.num_outcomes
 
 
 def expected_hamming_distance(
@@ -192,12 +207,7 @@ def expected_hamming_distance(
     between each outcome and the correct set.  It is 0 for a perfect
     distribution and approaches ``n / 2`` for uniform errors.
     """
-    spectrum = hamming_spectrum(distribution, correct_outcomes)
-    distances = np.arange(spectrum.num_bits + 1, dtype=float)
-    total = float(spectrum.bins.sum())
-    if total <= 0:
-        raise DistributionError("distribution has no probability mass")
-    return float(np.dot(distances, spectrum.bins) / total)
+    return hamming_spectrum(distribution, correct_outcomes).expected_distance()
 
 
 def uniform_model_ehd(num_bits: int) -> float:

@@ -118,16 +118,18 @@ def run_noise_impact_example(
     evaluator = CutCostEvaluator(problem)
     ideal = simulate_statevector(circuit).measurement_distribution()
     noisy = _sample_circuit(circuit, device, config)
+    ideal_expected = evaluator.expected_cost(ideal)
+    noisy_expected = evaluator.expected_cost(noisy)
     rows = [
         {
             "distribution": "ideal",
-            "expected_cost": ideal.expectation(evaluator.cost),
-            "cost_ratio": ideal.expectation(evaluator.cost) / evaluator.minimum_cost(),
+            "expected_cost": ideal_expected,
+            "cost_ratio": ideal_expected / evaluator.minimum_cost(),
         },
         {
             "distribution": "noisy",
-            "expected_cost": noisy.expectation(evaluator.cost),
-            "cost_ratio": noisy.expectation(evaluator.cost) / evaluator.minimum_cost(),
+            "expected_cost": noisy_expected,
+            "cost_ratio": noisy_expected / evaluator.minimum_cost(),
         },
     ]
     report = ExperimentReport(name="figure2d_noise_impact", rows=rows)

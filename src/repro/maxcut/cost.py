@@ -85,6 +85,31 @@ class CutCostEvaluator:
         return self.cost
 
     # ------------------------------------------------------------------
+    # Whole-distribution evaluation (packed, no per-outcome string decode)
+    # ------------------------------------------------------------------
+    def costs_for_distribution(self, distribution) -> np.ndarray:
+        """Ising cost of every outcome of a distribution, in outcome order.
+
+        Reads the distribution's packed bit matrix directly, so the cost of
+        the full support is one ``(N, |E|)`` spin product plus a matvec —
+        no per-outcome string decoding or Python loop.
+        """
+        if distribution.num_bits != self.num_nodes:
+            raise GraphError(
+                f"distribution width {distribution.num_bits} does not match "
+                f"{self.num_nodes} graph nodes"
+            )
+        bits = distribution.packed().bit_matrix()
+        spins = 1.0 - 2.0 * bits.astype(float)
+        return (spins[:, self._edge_u] * spins[:, self._edge_v]) @ self._edge_w
+
+    def expected_cost(self, distribution) -> float:
+        """Expected Ising cost ``Σ_x P(x) C(x)`` of a measured distribution."""
+        return float(
+            self.costs_for_distribution(distribution) @ distribution.probability_vector()
+        )
+
+    # ------------------------------------------------------------------
     # Exact extrema (brute force over all assignments)
     # ------------------------------------------------------------------
     def _all_costs(self) -> np.ndarray:

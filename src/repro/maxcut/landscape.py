@@ -19,7 +19,6 @@ from repro.core.distribution import Distribution
 from repro.exceptions import ExperimentError
 from repro.maxcut.cost import CutCostEvaluator
 from repro.maxcut.graphs import MaxCutProblem
-from repro.metrics.qaoa_metrics import cost_ratio
 
 __all__ = ["LandscapePoint", "LandscapeScan", "scan_landscape", "landscape_sharpness"]
 
@@ -92,8 +91,8 @@ def scan_landscape(
             parameters = QaoaParameters(gammas=tuple(layer_gammas), betas=tuple(layer_betas))
             circuit = qaoa_circuit(problem, parameters)
             distribution = executor(circuit)
-            expected = distribution.expectation(evaluator.cost)
-            ratio = cost_ratio(distribution, evaluator.cost, minimum_cost)
+            expected = evaluator.expected_cost(distribution)
+            ratio = float(expected / minimum_cost)
             grid[beta_index, gamma_index] = ratio
             points.append(
                 LandscapePoint(

@@ -95,7 +95,7 @@ def optimize_qaoa(
     def objective(flat_parameters: np.ndarray) -> float:
         parameters = QaoaParameters.from_flat(list(flat_parameters))
         distribution = executor(qaoa_circuit(problem, parameters))
-        expected = distribution.expectation(evaluator.cost)
+        expected = evaluator.expected_cost(distribution)
         trace.append(
             OptimizationTracePoint(
                 iteration=len(trace), parameters=parameters, expected_cost=float(expected)

@@ -17,8 +17,32 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.distribution import Distribution
 from repro.exceptions import DistributionError
+
+
+def _aligned_probability_vectors(
+    first: Distribution, second: Distribution
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scatter two histograms onto their union support as aligned vectors.
+
+    Outcome identity is resolved on the packed uint64 words (unique rows of
+    the concatenated supports), so no string sets or dict unions are built.
+    """
+    if first.num_bits != second.num_bits:
+        raise DistributionError("cannot compare distributions of different bit widths")
+    first_packed = first.packed()
+    second_packed = second.packed()
+    stacked = np.concatenate([first_packed.words, second_packed.words], axis=0)
+    unique_rows, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    p = np.zeros(unique_rows.shape[0], dtype=float)
+    q = np.zeros(unique_rows.shape[0], dtype=float)
+    p[inverse[: first_packed.num_outcomes]] = first_packed.probabilities
+    q[inverse[first_packed.num_outcomes :]] = second_packed.probabilities
+    return p, q
 
 __all__ = [
     "probability_of_successful_trial",
@@ -57,10 +81,15 @@ def inference_strength(
         raise DistributionError("correct_outcomes must not be empty")
     correct_set = set(correct)
     best_correct = max(distribution.probability(outcome) for outcome in correct)
-    incorrect = [p for o, p in distribution.items() if o not in correct_set]
-    if not incorrect:
+    probabilities = distribution.probability_vector()
+    incorrect_mask = np.fromiter(
+        (outcome not in correct_set for outcome in distribution.outcomes()),
+        dtype=bool,
+        count=distribution.num_outcomes,
+    )
+    if not incorrect_mask.any():
         return math.inf
-    best_incorrect = max(incorrect)
+    best_incorrect = float(probabilities[incorrect_mask].max())
     if best_incorrect <= 0:
         return math.inf
     return float(best_correct / best_incorrect)
@@ -88,33 +117,21 @@ def inference_is_correct(
 
 def total_variation_distance(first: Distribution, second: Distribution) -> float:
     """TVD between two distributions: ``0.5 * Σ |p(x) - q(x)|``."""
-    if first.num_bits != second.num_bits:
-        raise DistributionError("cannot compare distributions of different bit widths")
-    p = first.probabilities()
-    q = second.probabilities()
-    support = set(p) | set(q)
-    return 0.5 * float(sum(abs(p.get(x, 0.0) - q.get(x, 0.0)) for x in support))
+    p, q = _aligned_probability_vectors(first, second)
+    return 0.5 * float(np.abs(p - q).sum())
 
 
 def hellinger_distance(first: Distribution, second: Distribution) -> float:
     """Hellinger distance between two distributions (in [0, 1])."""
-    if first.num_bits != second.num_bits:
-        raise DistributionError("cannot compare distributions of different bit widths")
-    p = first.probabilities()
-    q = second.probabilities()
-    support = set(p) | set(q)
-    squared = sum((math.sqrt(p.get(x, 0.0)) - math.sqrt(q.get(x, 0.0))) ** 2 for x in support)
+    p, q = _aligned_probability_vectors(first, second)
+    squared = float(((np.sqrt(p) - np.sqrt(q)) ** 2).sum())
     return float(math.sqrt(0.5 * squared))
 
 
 def classical_fidelity(first: Distribution, second: Distribution) -> float:
     """Bhattacharyya/classical fidelity ``(Σ sqrt(p q))^2`` between histograms."""
-    if first.num_bits != second.num_bits:
-        raise DistributionError("cannot compare distributions of different bit widths")
-    p = first.probabilities()
-    q = second.probabilities()
-    support = set(p) & set(q)
-    overlap = sum(math.sqrt(p[x] * q[x]) for x in support)
+    p, q = _aligned_probability_vectors(first, second)
+    overlap = float(np.sqrt(p * q).sum())
     return float(overlap**2)
 
 

@@ -15,7 +15,7 @@ import numpy as np
 from scipy import stats
 
 from repro.core.distribution import Distribution
-from repro.core.spectrum import expected_hamming_distance, hamming_spectrum, uniform_model_ehd
+from repro.core.spectrum import hamming_spectrum, uniform_model_ehd
 from repro.exceptions import DistributionError
 
 __all__ = [
@@ -63,9 +63,13 @@ class HammingStructureSummary:
 def summarize_hamming_structure(
     distribution: Distribution, correct_outcomes: Sequence[str]
 ) -> HammingStructureSummary:
-    """Compute the full Hamming-structure summary for one distribution."""
+    """Compute the full Hamming-structure summary for one distribution.
+
+    The spectrum (shortest distances + weighted bincount on the packed view)
+    is computed once; EHD and all derived statistics read its bins.
+    """
     spectrum = hamming_spectrum(distribution, correct_outcomes)
-    ehd = expected_hamming_distance(distribution, correct_outcomes)
+    ehd = spectrum.expected_distance()
     mass_within_two = float(spectrum.bins[: min(3, len(spectrum.bins))].sum())
     return HammingStructureSummary(
         num_bits=distribution.num_bits,
@@ -102,7 +106,7 @@ def structure_ratio(distribution: Distribution, correct_outcomes: Sequence[str])
     values close to 1 mean errors are tightly clustered around the correct
     answers.
     """
-    ehd = expected_hamming_distance(distribution, correct_outcomes)
+    ehd = hamming_spectrum(distribution, correct_outcomes).expected_distance()
     uniform = uniform_model_ehd(distribution.num_bits)
     return float(1.0 - ehd / uniform)
 

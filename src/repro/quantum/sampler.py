@@ -23,7 +23,11 @@ Two sampling strategies are provided behind one entry point,
     uniform-background histograms the paper characterises.
 
 Both return a :class:`~repro.core.distribution.Distribution` over bitstrings
-(qubit 0 = most-significant bit).
+(qubit 0 = most-significant bit).  Internally each path works on ``(shots, n)``
+bit matrices end to end and hands the final matrix to
+:meth:`Distribution.from_bit_matrix`, which deduplicates shots with array ops
+and delivers the histogram with its packed Hamming view pre-cached — no
+per-shot strings are ever materialised.
 """
 
 from __future__ import annotations
@@ -49,26 +53,41 @@ _DEFAULT_MAX_TRAJECTORIES = 64
 
 def _bitstrings_from_matrix(bits: np.ndarray) -> list[str]:
     """Convert a (shots, n) 0/1 integer matrix into bitstring samples."""
-    return ["".join("1" if b else "0" for b in row) for row in bits]
+    from repro.core.bitstring import _strings_from_bit_matrix
+
+    return _strings_from_bit_matrix(np.ascontiguousarray(bits, dtype=np.uint8))
 
 
 def _samples_to_bit_matrix(samples: list[str]) -> np.ndarray:
     """Convert bitstring samples into a (shots, n) uint8 matrix."""
-    return np.array([[1 if ch == "1" else 0 for ch in sample] for sample in samples], dtype=np.uint8)
+    from repro.core.bitstring import _bit_matrix_from_strings
+
+    return _bit_matrix_from_strings(samples, len(samples[0]))
+
+
+def _apply_readout_errors_to_bits(
+    bits: np.ndarray, noise_model: NoiseModel, rng: np.random.Generator
+) -> np.ndarray:
+    """Apply per-qubit readout assignment errors to a (shots, n) bit matrix."""
+    num_qubits = bits.shape[1]
+    p10, p01 = noise_model.readout_flip_probabilities(num_qubits)
+    flip_probability = np.where(bits == 0, p10[None, :], p01[None, :])
+    flips = rng.random(bits.shape) < flip_probability
+    return np.bitwise_xor(bits, flips.astype(np.uint8))
 
 
 def apply_readout_errors(
     samples: list[str], noise_model: NoiseModel, rng: np.random.Generator
 ) -> list[str]:
-    """Apply per-qubit readout assignment errors to a list of sampled bitstrings."""
+    """Apply per-qubit readout assignment errors to a list of sampled bitstrings.
+
+    String-list convenience wrapper around the bit-matrix kernel; internal
+    sampling paths stay on bit matrices and never call this.
+    """
     if not samples:
         return samples
     bits = _samples_to_bit_matrix(samples)
-    num_qubits = bits.shape[1]
-    p10, p01 = noise_model.readout_flip_probabilities(num_qubits)
-    flip_probability = np.where(bits == 0, p10[None, :], p01[None, :])
-    flips = rng.random(bits.shape) < flip_probability
-    noisy_bits = np.bitwise_xor(bits, flips.astype(np.uint8))
+    noisy_bits = _apply_readout_errors_to_bits(bits, noise_model, rng)
     return _bitstrings_from_matrix(noisy_bits)
 
 
@@ -90,7 +109,7 @@ def sample_trajectory_distribution(
     for index in range(shots % num_trajectories):
         shots_per_trajectory[index] += 1
 
-    all_samples: list[str] = []
+    shot_blocks: list[np.ndarray] = []
     for trajectory_shots in shots_per_trajectory:
         errors = noise_model.sample_error_instructions(circuit, generator)
         errors_by_position: dict[int, list] = {}
@@ -105,11 +124,15 @@ def sample_trajectory_distribution(
             for error_instruction in errors_by_position[-1]:
                 state.apply_instruction(error_instruction)
         sampled = state.sample(trajectory_shots, rng=generator)
-        all_samples.extend(
-            sample for sample, count in sampled.counts().items() for _ in range(int(count))
-        )
-    noisy_samples = apply_readout_errors(all_samples, noise_model, generator)
-    return Distribution.from_samples(noisy_samples, num_bits=circuit.num_qubits)
+        # Expand the per-trajectory histogram to one row per shot without
+        # materialising per-shot strings: repeat the packed support's rows.
+        counts = np.fromiter(
+            sampled.counts().values(), dtype=float, count=sampled.num_outcomes
+        ).astype(np.int64)
+        shot_blocks.append(np.repeat(sampled.packed().bit_matrix(), counts, axis=0))
+    bits = np.vstack(shot_blocks)
+    bits = _apply_readout_errors_to_bits(bits, noise_model, generator)
+    return Distribution.from_bit_matrix(bits, num_bits=circuit.num_qubits)
 
 
 def sample_bitflip_distribution(
@@ -135,11 +158,12 @@ def sample_bitflip_distribution(
     if ideal is None:
         ideal = simulate_statevector(circuit).measurement_distribution()
 
-    ideal_outcomes = ideal.outcomes()
-    ideal_probabilities = np.array([ideal.probability(o) for o in ideal_outcomes])
-    ideal_probabilities = ideal_probabilities / ideal_probabilities.sum()
-    chosen = generator.choice(len(ideal_outcomes), size=shots, p=ideal_probabilities)
-    bits = _samples_to_bit_matrix([ideal_outcomes[i] for i in chosen])
+    # Draw shot indices over the ideal support and gather their bit rows from
+    # the cached packed view — no per-shot strings anywhere in this path.
+    chosen = generator.choice(
+        ideal.num_outcomes, size=shots, p=ideal.probability_vector()
+    )
+    bits = ideal.packed().bit_matrix()[chosen]
 
     # Gate/idle/crosstalk errors as independent per-qubit flips.
     flip_probabilities = noise_model.accumulated_bitflip_probabilities(circuit)
@@ -155,13 +179,9 @@ def sample_bitflip_distribution(
             bits[scrambled] = random_bits
 
     # Readout errors.
-    p10, p01 = noise_model.readout_flip_probabilities(num_qubits)
-    readout_probability = np.where(bits == 0, p10[None, :], p01[None, :])
-    readout_flips = generator.random(bits.shape) < readout_probability
-    bits = np.bitwise_xor(bits, readout_flips.astype(np.uint8))
+    bits = _apply_readout_errors_to_bits(bits, noise_model, generator)
 
-    samples = _bitstrings_from_matrix(bits)
-    return Distribution.from_samples(samples, num_bits=num_qubits)
+    return Distribution.from_bit_matrix(bits, num_bits=num_qubits)
 
 
 def sample_noisy_distribution(

@@ -82,3 +82,33 @@ class TestQualityCurve:
             dist, evaluator.cost, evaluator.minimum_cost(), quality_threshold=0.0
         )
         assert mass_above_zero == pytest.approx(1.0)
+
+
+class TestVectorizedDispatch:
+    """The packed fast path must only replace the evaluator's cost method."""
+
+    def _evaluator(self):
+        from repro.maxcut.graphs import regular_graph_problem
+        from repro.maxcut.cost import CutCostEvaluator
+
+        return CutCostEvaluator(regular_graph_problem(4, degree=3, seed=1))
+
+    def test_expected_cost_matches_per_outcome(self):
+        from repro.core.distribution import Distribution
+        from repro.metrics.qaoa_metrics import expected_cost
+
+        evaluator = self._evaluator()
+        dist = Distribution({"0101": 1.0, "0011": 2.0, "1111": 1.0})
+        fast = expected_cost(dist, evaluator.cost)
+        slow = sum(p * evaluator.cost(o) for o, p in dist.items())
+        assert fast == pytest.approx(slow)
+
+    def test_other_bound_methods_are_not_hijacked(self):
+        from repro.core.distribution import Distribution
+        from repro.metrics.qaoa_metrics import expected_cost
+
+        evaluator = self._evaluator()
+        dist = Distribution({"0101": 1.0, "0011": 2.0, "1111": 1.0})
+        fast = expected_cost(dist, evaluator.cut_value)
+        slow = sum(p * evaluator.cut_value(o) for o, p in dist.items())
+        assert fast == pytest.approx(slow)
