@@ -1,6 +1,6 @@
 """Benchmark circuit generators: BV, GHZ, QAOA, random identity, QFT."""
 
-from repro.circuits.bv import bernstein_vazirani, bv_correct_outcome, bv_secret_key
+from repro.circuits.bv import bernstein_vazirani, bv_correct_outcome, bv_secret_key, random_bv_key
 from repro.circuits.ghz import ghz_circuit, ghz_correct_outcomes
 from repro.circuits.qaoa import QaoaParameters, default_qaoa_parameters, qaoa_circuit
 from repro.circuits.qft import qft_basis_state_circuit, qft_circuit
@@ -15,6 +15,7 @@ __all__ = [
     "bernstein_vazirani",
     "bv_correct_outcome",
     "bv_secret_key",
+    "random_bv_key",
     "ghz_circuit",
     "ghz_correct_outcomes",
     "QaoaParameters",

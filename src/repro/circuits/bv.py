@@ -17,11 +17,13 @@ the oracle requires CX gates.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.bitstring import validate_bitstring
 from repro.exceptions import CircuitError
 from repro.quantum.circuit import QuantumCircuit
 
-__all__ = ["bernstein_vazirani", "bv_correct_outcome", "bv_secret_key"]
+__all__ = ["bernstein_vazirani", "bv_correct_outcome", "bv_secret_key", "random_bv_key"]
 
 
 def bv_secret_key(num_qubits: int, pattern: str = "alternating") -> str:
@@ -41,6 +43,24 @@ def bv_secret_key(num_qubits: int, pattern: str = "alternating") -> str:
     if pattern == "alternating":
         return "".join("1" if i % 2 == 0 else "0" for i in range(num_qubits))
     raise CircuitError(f"unknown key pattern {pattern!r}; use 'ones' or 'alternating'")
+
+
+def random_bv_key(num_qubits: int, rng: np.random.Generator) -> str:
+    """Draw a uniformly random non-trivial BV key (at least one '1' bit).
+
+    Each candidate is drawn with a single ``rng.integers(0, 2, size=n)`` call
+    (one stream consumption per attempt, not one per bit); all-zero keys are
+    rejected because their oracle is the identity.  Note the stream layout
+    differs from the historical per-bit ``rng.random()`` loop, so sweeps that
+    embed this helper produce different (equally valid) key sequences for a
+    given seed than pre-engine releases.
+    """
+    if num_qubits <= 0:
+        raise CircuitError(f"num_qubits must be positive, got {num_qubits}")
+    while True:
+        bits = rng.integers(0, 2, size=num_qubits)
+        if bits.any():
+            return "".join("1" if bit else "0" for bit in bits)
 
 
 def bernstein_vazirani(secret_key: str, entangling_oracle: bool = True) -> QuantumCircuit:

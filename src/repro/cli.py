@@ -6,18 +6,27 @@ Usage::
     python -m repro.cli fig8            # BV PST/IST improvement sweep
     python -m repro.cli fig9 --family grid
     python -m repro.cli headline --scale small
+    python -m repro.cli fig8 --jobs 4 --cache-dir .hammer-cache
+    python -m repro.cli fig8 --format json --out fig8.json
 
-Each experiment prints its summary numbers followed by the row table the
-corresponding benchmark also checks.
+Every experiment runs its sweep through one shared
+:class:`~repro.engine.engine.ExecutionEngine`: ``--jobs`` fans the batch out
+over worker processes (row tables are bit-identical for any worker count) and
+``--cache-dir`` persists transpiled circuits and ideal distributions so
+re-running a figure skips every statevector simulation of the previous run.
+``--format json`` emits the full report (rows, summary, engine metadata) as a
+machine-readable artifact, optionally written to ``--out``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.datasets.google_qaoa import full_table1_config, generate_google_dataset, small_table1_config, table1_summaries
 from repro.datasets.ibm_suite import full_table2_config, generate_ibm_suite, small_table2_config, table2_summaries
+from repro.engine import ExecutionEngine
 from repro.experiments import (
     BvStudyConfig,
     EhdStudyConfig,
@@ -45,120 +54,123 @@ from repro.experiments import (
     run_quality_distribution_example,
     run_runtime_scaling,
 )
-from repro.experiments.runner import ExperimentReport
+from repro.experiments.runner import ExperimentReport, attach_engine_meta
 
-__all__ = ["main", "build_parser", "run_experiment", "EXPERIMENTS"]
-
-
-def _fig1a(args: argparse.Namespace) -> ExperimentReport:
-    return run_bv_histogram_example(num_qubits=args.qubits or 4)
+__all__ = ["main", "build_parser", "build_engine", "run_experiment", "EXPERIMENTS"]
 
 
-def _fig1b(args: argparse.Namespace) -> ExperimentReport:
-    return run_ehd_scaling("qaoa-p2", config=EhdStudyConfig())
+def _fig1a(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
+    return run_bv_histogram_example(num_qubits=args.qubits or 4, engine=engine)
 
 
-def _fig2(args: argparse.Namespace) -> ExperimentReport:
-    return run_noise_impact_example(num_qubits=args.qubits or 9)
+def _fig1b(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
+    return run_ehd_scaling("qaoa-p2", config=EhdStudyConfig(), engine=engine)
 
 
-def _fig3(args: argparse.Namespace) -> ExperimentReport:
-    return run_hamming_spectrum(benchmark=args.family or "bv", num_qubits=args.qubits or 8)
+def _fig2(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
+    return run_noise_impact_example(num_qubits=args.qubits or 9, engine=engine)
 
 
-def _ghz(args: argparse.Namespace) -> ExperimentReport:
-    return run_ghz_clustering(num_qubits=args.qubits or 10)
+def _fig3(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
+    return run_hamming_spectrum(
+        benchmark=args.family or "bv", num_qubits=args.qubits or 8, engine=engine
+    )
 
 
-def _fig5(args: argparse.Namespace) -> ExperimentReport:
+def _ghz(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
+    return run_ghz_clustering(num_qubits=args.qubits or 10, engine=engine)
+
+
+def _fig5(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
     return run_neighbor_cost_study(LandscapeStudyConfig(num_nodes=args.qubits or 10))
 
 
-def _fig7(args: argparse.Namespace) -> ExperimentReport:
-    return run_chs_pipeline(num_qubits=args.qubits or 10)
+def _fig7(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
+    return run_chs_pipeline(num_qubits=args.qubits or 10, engine=engine)
 
 
-def _fig8(args: argparse.Namespace) -> ExperimentReport:
+def _fig8(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
     if args.scale == "full":
         config = BvStudyConfig(qubit_range=(5, 16), keys_per_size=7)
     else:
         config = BvStudyConfig()
-    return run_bv_study(config)
+    return run_bv_study(config, engine=engine)
 
 
-def _fig8a(args: argparse.Namespace) -> ExperimentReport:
-    return run_bv_single_example(num_qubits=args.qubits or 10)
+def _fig8a(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
+    return run_bv_single_example(num_qubits=args.qubits or 10, engine=engine)
 
 
-def _fig9(args: argparse.Namespace) -> ExperimentReport:
+def _fig9(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
     config = full_table1_config() if args.scale == "full" else small_table1_config()
-    return run_cost_ratio_scurve(family=args.family or "3-regular", config=config)
+    return run_cost_ratio_scurve(family=args.family or "3-regular", config=config, engine=engine)
 
 
-def _fig9b(args: argparse.Namespace) -> ExperimentReport:
+def _fig9b(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
     config = full_table1_config() if args.scale == "full" else small_table1_config()
     return run_quality_distribution_example(
-        target_qubits=args.qubits or 10, family=args.family or "3-regular", config=config
+        target_qubits=args.qubits or 10, family=args.family or "3-regular", config=config,
+        engine=engine,
     )
 
 
-def _fig10(args: argparse.Namespace) -> ExperimentReport:
+def _fig10(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
     if args.scale == "full":
         config = LayersStudyConfig(node_values=(10, 12, 14, 16, 18, 20))
     else:
         config = LayersStudyConfig()
-    return run_layers_study(config)
+    return run_layers_study(config, engine=engine)
 
 
-def _fig10b(args: argparse.Namespace) -> ExperimentReport:
-    return run_landscape_study(LandscapeStudyConfig(num_nodes=args.qubits or 10))
+def _fig10b(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
+    return run_landscape_study(LandscapeStudyConfig(num_nodes=args.qubits or 10), engine=engine)
 
 
-def _fig11(args: argparse.Namespace) -> ExperimentReport:
+def _fig11(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
     return run_entanglement_study(
-        EntanglementStudyConfig(), depth_class=args.family or "high"
+        EntanglementStudyConfig(), depth_class=args.family or "high", engine=engine
     )
 
 
-def _fig12(args: argparse.Namespace) -> ExperimentReport:
-    return run_ehd_dataset_comparison(EhdStudyConfig())
+def _fig12(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
+    return run_ehd_dataset_comparison(EhdStudyConfig(), engine=engine)
 
 
-def _table1(args: argparse.Namespace) -> ExperimentReport:
+def _table1(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
     config = full_table1_config() if args.scale == "full" else small_table1_config()
-    records = generate_google_dataset(config)
+    records = generate_google_dataset(config, engine=engine)
     rows = [summary.as_row() for summary in table1_summaries(records)]
     report = ExperimentReport(name="table1_google_dataset", rows=rows)
     report.summary["total_circuits"] = float(len(records))
-    return report
+    return attach_engine_meta(report, engine)
 
 
-def _table2(args: argparse.Namespace) -> ExperimentReport:
+def _table2(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
     config = full_table2_config() if args.scale == "full" else small_table2_config()
-    records = generate_ibm_suite(config)
+    records = generate_ibm_suite(config, engine=engine)
     rows = [summary.as_row() for summary in table2_summaries(records)]
     report = ExperimentReport(name="table2_ibm_dataset", rows=rows)
     report.summary["total_circuits"] = float(len(records))
-    return report
+    return attach_engine_meta(report, engine)
 
 
-def _table3(args: argparse.Namespace) -> ExperimentReport:
+def _table3(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
     return run_operation_count_table()
 
 
-def _table3_runtime(args: argparse.Namespace) -> ExperimentReport:
+def _table3_runtime(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
     return run_runtime_scaling()
 
 
-def _sec64(args: argparse.Namespace) -> ExperimentReport:
+def _sec64(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
     config = full_table2_config() if args.scale == "full" else small_table2_config()
-    return run_ibm_qaoa_study(config=config)
+    return run_ibm_qaoa_study(config=config, engine=engine)
 
 
-def _headline(args: argparse.Namespace) -> ExperimentReport:
+def _headline(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
     ibm = full_table2_config() if args.scale == "full" else small_table2_config()
     google = full_table1_config() if args.scale == "full" else small_table1_config()
-    return run_headline_summary(ibm_config=ibm, google_config=google)
+    return run_headline_summary(ibm_config=ibm, google_config=google, engine=engine)
 
 
 #: Registry of experiment id -> (description, runner).
@@ -187,6 +199,13 @@ EXPERIMENTS = {
 }
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -199,15 +218,37 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--qubits", type=int, default=None, help="override the circuit width")
     parser.add_argument("--family", type=str, default=None,
                         help="workload family / variant selector (experiment-specific)")
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes for the sweep (results are identical for any N)")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="PATH",
+                        help="persist transpiles + ideal distributions across runs")
+    parser.add_argument("--format", choices=("text", "json"), default="text", dest="format",
+                        help="output format: human-readable table or JSON artifact")
+    parser.add_argument("--out", type=str, default=None, metavar="PATH",
+                        help="write the report to a file instead of stdout")
     return parser
 
 
-def run_experiment(name: str, args: argparse.Namespace) -> ExperimentReport:
+def build_engine(args: argparse.Namespace) -> ExecutionEngine:
+    """Construct the shared execution engine from CLI arguments."""
+    return ExecutionEngine(
+        max_workers=getattr(args, "jobs", 1) or 1,
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+
+
+def run_experiment(
+    name: str, args: argparse.Namespace, engine: ExecutionEngine | None = None
+) -> ExperimentReport:
     """Run one registered experiment and return its report."""
     if name not in EXPERIMENTS:
         raise SystemExit(f"unknown experiment {name!r}; run 'list' to see the registry")
     _, runner = EXPERIMENTS[name]
-    return runner(args)
+    return runner(args, engine if engine is not None else build_engine(args))
+
+
+def _render(report: ExperimentReport, args: argparse.Namespace) -> str:
+    return report.to_json() if args.format == "json" else report.to_text()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -219,7 +260,14 @@ def main(argv: list[str] | None = None) -> int:
         print(format_table(rows))
         return 0
     report = run_experiment(args.experiment, args)
-    print(report.to_text())
+    rendered = _render(report, args)
+    if args.out is not None:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {report.name} ({args.format}) to {path}")
+    else:
+        print(rendered)
     return 0
 
 

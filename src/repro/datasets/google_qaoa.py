@@ -21,6 +21,7 @@ import numpy as np
 from repro.baselines.readout_mitigation import ReadoutCalibration, mitigate_readout
 from repro.circuits.qaoa import default_qaoa_parameters, qaoa_circuit
 from repro.datasets.records import CircuitRecord, DatasetSummary
+from repro.engine import CircuitJob, ExecutionEngine
 from repro.exceptions import DatasetError
 from repro.maxcut.graphs import (
     MaxCutProblem,
@@ -29,9 +30,6 @@ from repro.maxcut.graphs import (
     sherrington_kirkpatrick_problem,
 )
 from repro.quantum.device import DeviceProfile, google_sycamore
-from repro.quantum.sampler import NoisySampler
-from repro.quantum.statevector import simulate_statevector
-from repro.quantum.transpiler import transpile
 
 __all__ = [
     "GoogleDatasetConfig",
@@ -131,20 +129,20 @@ def _build_problem(
 def generate_google_dataset(
     config: GoogleDatasetConfig | None = None,
     device: DeviceProfile | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> list[CircuitRecord]:
     """Generate the synthetic Sycamore QAOA dataset.
 
     Every record's ``noisy_distribution`` already includes the tensored
     readout correction, matching how the paper's Google baseline is defined.
+    The whole composition is one engine batch; the readout correction is
+    applied to each returned histogram in the parent process.
     """
     config = config or small_table1_config()
     device = device or google_sycamore()
+    engine = engine or ExecutionEngine()
     rng = np.random.default_rng(config.seed)
-    sampler = NoisySampler(
-        noise_model=device.noise_model.scaled(config.noise_scale),
-        shots=config.shots,
-        seed=int(rng.integers(0, 2**31)),
-    )
+    noise_model = device.noise_model.scaled(config.noise_scale)
 
     plan: list[tuple[str, int, int]] = []
     for size in _grid_sizes(config.grid_qubit_range):
@@ -158,40 +156,50 @@ def generate_google_dataset(
             for layers in config.regular_layer_values:
                 plan.append(("sk", size, layers))
 
-    records: list[CircuitRecord] = []
+    jobs: list[CircuitJob] = []
+    problems: dict[str, MaxCutProblem] = {}
     for family, size, layers in plan:
         for instance_index in range(config.instances_per_size):
             problem = _build_problem(family, size, rng)
-            parameters = default_qaoa_parameters(layers)
-            circuit = qaoa_circuit(problem, parameters)
-            if config.transpile_circuits:
-                circuit = transpile(
-                    circuit, coupling_map=device.coupling_map, basis_gates=device.basis_gates
-                ).circuit
-            ideal = simulate_statevector(circuit).measurement_distribution()
-            raw_noisy = sampler.run(circuit, ideal=ideal)
-            calibration = ReadoutCalibration.from_readout_error(
-                device.noise_model.readout_error, problem.num_nodes
-            )
-            corrected = mitigate_readout(raw_noisy, calibration)
-            records.append(
-                CircuitRecord(
-                    record_id=f"google-{family}-n{problem.num_nodes}-p{layers}-i{instance_index}",
-                    benchmark="qaoa",
-                    device=device.name,
-                    num_qubits=problem.num_nodes,
-                    noisy_distribution=corrected,
-                    ideal_distribution=ideal,
-                    problem=problem,
-                    num_layers=layers,
-                    metadata={
-                        "family": family,
-                        "readout_corrected": True,
-                        "depth": circuit.depth(),
-                        "num_edges": problem.num_edges,
-                    },
+            job_id = f"google-{family}-n{problem.num_nodes}-p{layers}-i{instance_index}"
+            problems[job_id] = problem
+            jobs.append(
+                CircuitJob(
+                    job_id=job_id,
+                    circuit=qaoa_circuit(problem, default_qaoa_parameters(layers)),
+                    shots=config.shots,
+                    noise_model=noise_model,
+                    coupling_map=device.coupling_map if config.transpile_circuits else None,
+                    basis_gates=device.basis_gates if config.transpile_circuits else None,
+                    metadata={"family": family, "num_layers": layers},
                 )
             )
+
+    records: list[CircuitRecord] = []
+    for result in engine.run(jobs, seed=config.seed):
+        problem = problems[result.job_id]
+        calibration = ReadoutCalibration.from_readout_error(
+            device.noise_model.readout_error, problem.num_nodes
+        )
+        corrected = mitigate_readout(result.noisy, calibration)
+        records.append(
+            CircuitRecord(
+                record_id=result.job_id,
+                benchmark="qaoa",
+                device=device.name,
+                num_qubits=problem.num_nodes,
+                noisy_distribution=corrected,
+                ideal_distribution=result.ideal,
+                problem=problem,
+                num_layers=result.metadata["num_layers"],
+                metadata={
+                    "family": result.metadata["family"],
+                    "readout_corrected": True,
+                    "depth": result.depth,
+                    "num_edges": problem.num_edges,
+                },
+            )
+        )
     return records
 
 

@@ -20,19 +20,17 @@ available through :func:`full_table2_config`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.circuits.bv import bernstein_vazirani, bv_correct_outcome
+from repro.circuits.bv import bernstein_vazirani, bv_correct_outcome, random_bv_key
 from repro.circuits.qaoa import default_qaoa_parameters, qaoa_circuit
 from repro.datasets.records import CircuitRecord, DatasetSummary
+from repro.engine import CircuitJob, ExecutionEngine
 from repro.exceptions import DatasetError
 from repro.maxcut.graphs import MaxCutProblem, erdos_renyi_problem, regular_graph_problem
 from repro.quantum.device import DeviceProfile, ibm_manhattan, ibm_paris, ibm_toronto
-from repro.quantum.sampler import NoisySampler
-from repro.quantum.statevector import simulate_statevector
-from repro.quantum.transpiler import transpile
 
 __all__ = [
     "IbmSuiteConfig",
@@ -121,58 +119,57 @@ def default_ibm_devices() -> list[DeviceProfile]:
     return [ibm_paris(), ibm_manhattan(), ibm_toronto()]
 
 
-def _random_secret_key(num_qubits: int, rng: np.random.Generator) -> str:
-    """A random BV key with at least one '1' bit (an all-zero key is trivial)."""
-    while True:
-        key = "".join("1" if rng.random() < 0.5 else "0" for _ in range(num_qubits))
-        if "1" in key:
-            return key
-
-
-def _prepare_circuit(circuit, device: DeviceProfile, config: IbmSuiteConfig):
-    """Optionally transpile a logical circuit onto the device."""
+def _device_target(device: DeviceProfile, config: IbmSuiteConfig) -> dict:
+    """Transpilation target for a job (empty when the suite runs logical circuits)."""
     if not config.transpile_circuits:
-        return circuit
-    transpiled = transpile(circuit, coupling_map=device.coupling_map, basis_gates=device.basis_gates)
-    return transpiled.circuit
+        return {}
+    return {"coupling_map": device.coupling_map, "basis_gates": device.basis_gates}
 
 
 def generate_bv_records(
     config: IbmSuiteConfig | None = None,
     devices: list[DeviceProfile] | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> list[CircuitRecord]:
     """Generate the Bernstein-Vazirani rows of Table 2."""
     config = config or small_table2_config()
     devices = devices if devices is not None else default_ibm_devices()
+    engine = engine or ExecutionEngine()
     rng = np.random.default_rng(config.seed)
-    records: list[CircuitRecord] = []
+    jobs: list[CircuitJob] = []
     low, high = config.bv_qubit_range
     for device in devices:
-        sampler = NoisySampler(
-            noise_model=device.noise_model.scaled(config.noise_scale),
-            shots=config.shots,
-            seed=int(rng.integers(0, 2**31)),
-        )
+        noise_model = device.noise_model.scaled(config.noise_scale)
         for num_qubits in range(low, high + 1):
             for key_index in range(config.bv_keys_per_size):
-                secret_key = _random_secret_key(num_qubits, rng)
-                circuit = bernstein_vazirani(secret_key)
-                executable = _prepare_circuit(circuit, device, config)
-                ideal = simulate_statevector(executable).measurement_distribution()
-                noisy = sampler.run(executable, ideal=ideal)
-                records.append(
-                    CircuitRecord(
-                        record_id=f"bv-{device.name}-n{num_qubits}-k{key_index}",
-                        benchmark="bv",
-                        device=device.name,
-                        num_qubits=num_qubits,
-                        noisy_distribution=noisy,
-                        ideal_distribution=ideal,
-                        correct_outcomes=(bv_correct_outcome(secret_key),),
-                        metadata={"secret_key": secret_key, "depth": executable.depth()},
+                secret_key = random_bv_key(num_qubits, rng)
+                jobs.append(
+                    CircuitJob(
+                        job_id=f"bv-{device.name}-n{num_qubits}-k{key_index}",
+                        circuit=bernstein_vazirani(secret_key),
+                        shots=config.shots,
+                        noise_model=noise_model,
+                        metadata={
+                            "device": device.name,
+                            "num_qubits": num_qubits,
+                            "secret_key": secret_key,
+                        },
+                        **_device_target(device, config),
                     )
                 )
-    return records
+    return [
+        CircuitRecord(
+            record_id=result.job_id,
+            benchmark="bv",
+            device=result.metadata["device"],
+            num_qubits=result.metadata["num_qubits"],
+            noisy_distribution=result.noisy,
+            ideal_distribution=result.ideal,
+            correct_outcomes=(bv_correct_outcome(result.metadata["secret_key"]),),
+            metadata={"secret_key": result.metadata["secret_key"], "depth": result.depth},
+        )
+        for result in engine.run(jobs, seed=config.seed)
+    ]
 
 
 def _qaoa_problem(
@@ -194,59 +191,79 @@ def generate_qaoa_records(
     config: IbmSuiteConfig | None = None,
     devices: list[DeviceProfile] | None = None,
     families: tuple[str, ...] = ("3-regular", "random"),
+    engine: ExecutionEngine | None = None,
 ) -> list[CircuitRecord]:
     """Generate the QAOA rows of Table 2 (3-regular and random graphs)."""
     config = config or small_table2_config()
     devices = devices if devices is not None else default_ibm_devices()
+    engine = engine or ExecutionEngine()
     rng = np.random.default_rng(config.seed + 1)
-    records: list[CircuitRecord] = []
+    jobs: list[CircuitJob] = []
+    problems: dict[str, MaxCutProblem] = {}
     low, high = config.qaoa_qubit_range
     for device in devices:
-        sampler = NoisySampler(
-            noise_model=device.noise_model.scaled(config.noise_scale),
-            shots=config.shots,
-            seed=int(rng.integers(0, 2**31)),
-        )
+        noise_model = device.noise_model.scaled(config.noise_scale)
         for family in families:
             for num_qubits in range(low, high + 1):
                 for instance_index in range(config.qaoa_instances_per_size):
                     problem = _qaoa_problem(family, num_qubits, instance_index, rng)
                     for num_layers in config.qaoa_layer_values:
-                        parameters = default_qaoa_parameters(num_layers)
-                        circuit = qaoa_circuit(problem, parameters)
-                        executable = _prepare_circuit(circuit, device, config)
-                        ideal = simulate_statevector(executable).measurement_distribution()
-                        noisy = sampler.run(executable, ideal=ideal)
-                        records.append(
-                            CircuitRecord(
-                                record_id=(
-                                    f"qaoa-{family}-{device.name}-n{problem.num_nodes}"
-                                    f"-p{num_layers}-i{instance_index}"
-                                ),
-                                benchmark="qaoa",
-                                device=device.name,
-                                num_qubits=problem.num_nodes,
-                                noisy_distribution=noisy,
-                                ideal_distribution=ideal,
-                                problem=problem,
-                                num_layers=num_layers,
+                        # The requested width goes into the id as well: odd
+                        # 3-regular widths round up to the same node count, and
+                        # engine job ids must be unique within a batch.
+                        job_id = (
+                            f"qaoa-{family}-{device.name}-q{num_qubits}-n{problem.num_nodes}"
+                            f"-p{num_layers}-i{instance_index}"
+                        )
+                        problems[job_id] = problem
+                        jobs.append(
+                            CircuitJob(
+                                job_id=job_id,
+                                circuit=qaoa_circuit(problem, default_qaoa_parameters(num_layers)),
+                                shots=config.shots,
+                                noise_model=noise_model,
                                 metadata={
+                                    "device": device.name,
                                     "family": family,
-                                    "depth": executable.depth(),
-                                    "num_edges": problem.num_edges,
+                                    "num_layers": num_layers,
                                 },
+                                **_device_target(device, config),
                             )
                         )
+    records: list[CircuitRecord] = []
+    for result in engine.run(jobs, seed=config.seed + 1):
+        problem = problems[result.job_id]
+        records.append(
+            CircuitRecord(
+                record_id=result.job_id,
+                benchmark="qaoa",
+                device=result.metadata["device"],
+                num_qubits=problem.num_nodes,
+                noisy_distribution=result.noisy,
+                ideal_distribution=result.ideal,
+                problem=problem,
+                num_layers=result.metadata["num_layers"],
+                metadata={
+                    "family": result.metadata["family"],
+                    "depth": result.depth,
+                    "num_edges": problem.num_edges,
+                },
+            )
+        )
     return records
 
 
 def generate_ibm_suite(
     config: IbmSuiteConfig | None = None,
     devices: list[DeviceProfile] | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> list[CircuitRecord]:
-    """Generate the full IBM suite (BV + both QAOA families)."""
+    """Generate the full IBM suite (BV + both QAOA families) through one engine."""
     config = config or small_table2_config()
-    return generate_bv_records(config, devices) + generate_qaoa_records(config, devices)
+    engine = engine or ExecutionEngine()
+    return generate_bv_records(config, devices, engine=engine) + generate_qaoa_records(
+        config, devices, engine=engine
+    )
 
 
 def table2_summaries(records: list[CircuitRecord]) -> list[DatasetSummary]:

@@ -1,0 +1,26 @@
+"""Shared job-based execution engine for all paper sweeps.
+
+Studies express their sweep as a batch of :class:`CircuitJob` objects and
+hand it to an :class:`ExecutionEngine`, which owns transpilation, ideal
+(statevector) simulation, noisy sampling, content-addressed caching of the
+deterministic artifacts, and optional process-pool parallelism — with
+per-job RNG streams that make row-level results bit-identical regardless of
+worker count.
+"""
+
+from repro.engine.cache import ExecutionCache
+from repro.engine.engine import EngineRunStats, ExecutionEngine
+from repro.engine.hashing import circuit_fingerprint, coupling_fingerprint, ideal_key, transpile_key
+from repro.engine.jobs import CircuitJob, JobResult
+
+__all__ = [
+    "CircuitJob",
+    "JobResult",
+    "EngineRunStats",
+    "ExecutionEngine",
+    "ExecutionCache",
+    "circuit_fingerprint",
+    "coupling_fingerprint",
+    "ideal_key",
+    "transpile_key",
+]

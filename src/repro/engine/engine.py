@@ -1,0 +1,392 @@
+"""Deterministic batch execution of circuit jobs with caching and workers.
+
+The engine runs a batch of :class:`~repro.engine.jobs.CircuitJob` objects in
+three phases, deduplicating shared work through the content-addressed
+:class:`~repro.engine.cache.ExecutionCache`:
+
+1. **Transpile** — jobs that target a device shape are routed/decomposed
+   once per unique ``(circuit, coupling map, basis gates)`` key.
+2. **Ideal simulation** — the noise-free distribution of each unique
+   *executed* circuit is computed once (this is the statevector simulation,
+   the dominant cost of every paper sweep).
+3. **Sampling** — every job draws its noisy histogram with its own RNG.
+
+Determinism
+-----------
+Each job's generator is seeded with ``np.random.SeedSequence((seed, index))``
+where ``index`` is the job's position in the batch.  Seeds therefore depend
+only on the batch order chosen by the study — never on worker count,
+scheduling, or cache state — so a sweep produces bit-identical rows for
+``max_workers=1`` and ``max_workers=8``.
+
+Parallelism
+-----------
+``max_workers=1`` (default) runs everything in-process.  Larger values fan
+each phase out over a :class:`concurrent.futures.ProcessPoolExecutor`; the
+cache lives in the parent process, which resolves hits before dispatch and
+absorbs artifacts computed by workers, so worker processes stay stateless.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.distribution import Distribution
+from repro.engine.cache import ExecutionCache
+from repro.engine.hashing import ideal_key, transpile_key
+from repro.engine.jobs import CircuitJob, JobResult
+from repro.exceptions import EngineError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.sampler import sample_bitflip_distribution, sample_trajectory_distribution
+from repro.quantum.statevector import simulate_statevector
+from repro.quantum.transpiler import transpile
+
+__all__ = ["ExecutionEngine", "EngineRunStats"]
+
+
+@dataclass(frozen=True)
+class _TranspileArtifact:
+    """Cached output of one transpilation: executed circuit + layout info."""
+
+    circuit: QuantumCircuit
+    permutation: tuple[int, ...]
+    num_swaps: int
+
+
+@dataclass
+class EngineRunStats:
+    """Aggregate accounting of one :meth:`ExecutionEngine.run` call."""
+
+    num_jobs: int = 0
+    max_workers: int = 1
+    transpiled_jobs: int = 0
+    transpile_cache_hits: int = 0
+    ideal_cache_hits: int = 0
+    unique_transpiles_computed: int = 0
+    unique_ideals_computed: int = 0
+    prepare_seconds: float = 0.0
+    sample_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    def accumulate(self, other: "EngineRunStats") -> None:
+        """Fold another run's counters into this one (for lifetime totals)."""
+        self.num_jobs += other.num_jobs
+        self.transpiled_jobs += other.transpiled_jobs
+        self.transpile_cache_hits += other.transpile_cache_hits
+        self.ideal_cache_hits += other.ideal_cache_hits
+        self.unique_transpiles_computed += other.unique_transpiles_computed
+        self.unique_ideals_computed += other.unique_ideals_computed
+        self.prepare_seconds += other.prepare_seconds
+        self.sample_seconds += other.sample_seconds
+        self.wall_seconds += other.wall_seconds
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict for ``ExperimentReport.meta`` / JSON artifacts."""
+        return {
+            "num_jobs": self.num_jobs,
+            "max_workers": self.max_workers,
+            "transpiled_jobs": self.transpiled_jobs,
+            "transpile_cache_hits": self.transpile_cache_hits,
+            "ideal_cache_hits": self.ideal_cache_hits,
+            "unique_transpiles_computed": self.unique_transpiles_computed,
+            "unique_ideals_computed": self.unique_ideals_computed,
+            "prepare_seconds": self.prepare_seconds,
+            "sample_seconds": self.sample_seconds,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker functions (module-level so they pickle by reference)
+# ---------------------------------------------------------------------------
+def _transpile_task(task: tuple) -> tuple[str, _TranspileArtifact, float]:
+    key, circuit, coupling_map, basis_gates = task
+    start = time.perf_counter()
+    transpiled = transpile(circuit, coupling_map=coupling_map, basis_gates=basis_gates)
+    seconds = time.perf_counter() - start
+    artifact = _TranspileArtifact(
+        circuit=transpiled.circuit,
+        permutation=tuple(transpiled.measurement_permutation()),
+        num_swaps=transpiled.num_swaps,
+    )
+    return key, artifact, seconds
+
+
+def _ideal_task(task: tuple) -> tuple[str, Distribution, float]:
+    key, circuit = task
+    start = time.perf_counter()
+    ideal = simulate_statevector(circuit).measurement_distribution()
+    return key, ideal, time.perf_counter() - start
+
+
+def _sample_task(task: tuple) -> tuple[int, Distribution, float]:
+    index, circuit, ideal, noise_model, shots, method, entropy = task
+    rng = np.random.default_rng(np.random.SeedSequence(entropy))
+    start = time.perf_counter()
+    if method == "bitflip":
+        noisy = sample_bitflip_distribution(circuit, noise_model, shots, rng=rng, ideal=ideal)
+    else:
+        noisy = sample_trajectory_distribution(circuit, noise_model, shots, rng=rng)
+    return index, noisy, time.perf_counter() - start
+
+
+def _timed_call(task: tuple) -> tuple[Any, float]:
+    fn, item = task
+    start = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - start
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    pool.shutdown(wait=True)
+
+
+class ExecutionEngine:
+    """Shared orchestration layer for all paper sweeps.
+
+    Parameters
+    ----------
+    max_workers:
+        1 = serial (default); >1 fans job batches out over a process pool.
+    cache:
+        An :class:`ExecutionCache` to share across runs/studies.  When
+        omitted a fresh in-memory cache is created (optionally persistent
+        when ``cache_dir`` is given).
+    cache_dir:
+        Convenience: directory for a persistent cache tier.  Ignored when an
+        explicit ``cache`` object is passed.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        cache: ExecutionCache | None = None,
+        cache_dir: str | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+        self.cache = cache if cache is not None else ExecutionCache(cache_dir)
+        self.last_run_stats: EngineRunStats | None = None
+        #: Totals over every :meth:`run` since construction.  Studies that
+        #: issue several batches through one shared engine (fig12, headline,
+        #: the dataset emulators) report these, so the provenance covers the
+        #: whole sweep and reconciles with the cache's lifetime counters.
+        self.lifetime_stats = EngineRunStats(max_workers=self.max_workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_finalizer: weakref.finalize | None = None
+
+    def _get_pool(self) -> ProcessPoolExecutor | None:
+        """Lazily create the worker pool, reused across runs of this engine.
+
+        Multi-batch studies (fig12: 5 batches, headline: 3+) would otherwise
+        pay worker spawn + interpreter import costs once per batch.
+        """
+        if self.max_workers <= 1:
+            return None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._pool_finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (subsequent runs recreate it lazily)."""
+        if self._pool is not None:
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Generic parallel map
+    # ------------------------------------------------------------------
+    def _map(self, pool: ProcessPoolExecutor | None, fn: Callable, tasks: Sequence) -> list:
+        if pool is None or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        chunksize = max(1, len(tasks) // (self.max_workers * 4))
+        return list(pool.map(fn, tasks, chunksize=chunksize))
+
+    def map_timed(self, fn: Callable, items: Iterable) -> list[tuple[Any, float]]:
+        """Run ``fn`` over ``items`` (respecting ``max_workers``), timing each call.
+
+        ``fn`` must be a module-level callable when ``max_workers > 1`` (it is
+        shipped to worker processes by reference).  Returns
+        ``[(result, seconds), ...]`` in input order.
+        """
+        tasks = [(fn, item) for item in items]
+        if self.max_workers <= 1 or len(tasks) <= 1:
+            return [_timed_call(task) for task in tasks]
+        return self._map(self._get_pool(), _timed_call, tasks)
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[CircuitJob], seed: int = 0) -> list[JobResult]:
+        """Execute a batch of jobs and return results in batch order."""
+        wall_start = time.perf_counter()
+        jobs = list(jobs)
+        stats = EngineRunStats(num_jobs=len(jobs), max_workers=self.max_workers)
+        if not jobs:
+            stats.wall_seconds = time.perf_counter() - wall_start
+            self.last_run_stats = stats
+            self.lifetime_stats.accumulate(stats)
+            return []
+        seed = int(seed)
+        if seed < 0:
+            raise EngineError(f"seed must be non-negative, got {seed}")
+        seen_ids: set[str] = set()
+        for job in jobs:
+            if job.job_id in seen_ids:
+                raise EngineError(f"duplicate job_id {job.job_id!r} in batch")
+            seen_ids.add(job.job_id)
+
+        pool = self._get_pool() if len(jobs) > 1 else None
+        return self._run_phases(jobs, seed, stats, pool, wall_start)
+
+    def _run_phases(
+        self,
+        jobs: list[CircuitJob],
+        seed: int,
+        stats: EngineRunStats,
+        pool: ProcessPoolExecutor | None,
+        wall_start: float,
+    ) -> list[JobResult]:
+        # ---- Phase 1: transpilation (once per unique circuit/target) ----
+        job_tkeys: list[str | None] = []
+        transpile_artifacts: dict[str, _TranspileArtifact] = {}
+        transpile_owner: dict[str, int] = {}
+        to_transpile: list[tuple] = []
+        for index, job in enumerate(jobs):
+            if not job.wants_transpile:
+                job_tkeys.append(None)
+                continue
+            key = transpile_key(job.circuit, job.coupling_map, job.basis_gates)
+            job_tkeys.append(key)
+            if key in transpile_artifacts or key in transpile_owner:
+                continue
+            cached = self.cache.get("transpile", key)
+            if cached is not None:
+                transpile_artifacts[key] = cached
+            else:
+                transpile_owner[key] = index
+                to_transpile.append((key, job.circuit, job.coupling_map, job.basis_gates))
+        transpile_seconds: dict[str, float] = {}
+        for key, artifact, seconds in self._map(pool, _transpile_task, to_transpile):
+            self.cache.put("transpile", key, artifact)
+            transpile_artifacts[key] = artifact
+            transpile_seconds[key] = seconds
+        stats.unique_transpiles_computed = len(to_transpile)
+
+        # ---- Phase 2: ideal distributions (once per unique executed circuit) ----
+        executed_circuits: list[QuantumCircuit] = []
+        job_ikeys: list[str] = []
+        ideal_distributions: dict[str, Distribution] = {}
+        ideal_owner: dict[str, int] = {}
+        to_simulate: list[tuple] = []
+        tkey_ikeys: dict[str, str] = {}
+        for index, job in enumerate(jobs):
+            tkey = job_tkeys[index]
+            if tkey is None:
+                executed = job.circuit
+                key = ideal_key(executed)
+            else:
+                executed = transpile_artifacts[tkey].circuit
+                key = tkey_ikeys.get(tkey)
+                if key is None:
+                    key = ideal_key(executed)
+                    tkey_ikeys[tkey] = key
+            executed_circuits.append(executed)
+            job_ikeys.append(key)
+            if key in ideal_distributions or key in ideal_owner:
+                continue
+            cached = self.cache.get("ideal", key)
+            if cached is not None:
+                ideal_distributions[key] = cached
+            else:
+                ideal_owner[key] = index
+                to_simulate.append((key, executed))
+        ideal_seconds: dict[str, float] = {}
+        for key, ideal, seconds in self._map(pool, _ideal_task, to_simulate):
+            self.cache.put("ideal", key, ideal)
+            ideal_distributions[key] = ideal
+            ideal_seconds[key] = seconds
+        stats.unique_ideals_computed = len(to_simulate)
+
+        # ---- Phase 3: noisy sampling (one independent RNG stream per job) ----
+        sample_tasks = [
+            (
+                index,
+                executed_circuits[index],
+                ideal_distributions[job_ikeys[index]],
+                job.noise_model,
+                job.shots,
+                job.method,
+                (seed, index),
+            )
+            for index, job in enumerate(jobs)
+        ]
+        sampled = self._map(pool, _sample_task, sample_tasks)
+
+        # ---- Assemble results in batch order ----
+        results: list[JobResult] = []
+        for (index, noisy, sample_seconds), job in zip(sampled, jobs):
+            tkey = job_tkeys[index]
+            ikey = job_ikeys[index]
+            executed = executed_circuits[index]
+            ideal = ideal_distributions[ikey]
+            transpiled = tkey is not None
+            num_swaps = transpile_artifacts[tkey].num_swaps if transpiled else 0
+            if transpiled and job.map_to_logical:
+                permutation = list(transpile_artifacts[tkey].permutation)
+                if permutation != list(range(len(permutation))):
+                    noisy = noisy.mapped(permutation)
+                    ideal = ideal.mapped(permutation)
+            transpile_hit = transpiled and transpile_owner.get(tkey) != index
+            ideal_hit = ideal_owner.get(ikey) != index
+            prepare_seconds = transpile_seconds.get(tkey, 0.0) if transpile_owner.get(tkey) == index else 0.0
+            if ideal_owner.get(ikey) == index:
+                prepare_seconds += ideal_seconds.get(ikey, 0.0)
+            stats.transpiled_jobs += 1 if transpiled else 0
+            stats.transpile_cache_hits += 1 if transpile_hit else 0
+            stats.ideal_cache_hits += 1 if ideal_hit else 0
+            stats.prepare_seconds += prepare_seconds
+            stats.sample_seconds += sample_seconds
+            results.append(
+                JobResult(
+                    job_id=job.job_id,
+                    noisy=noisy,
+                    ideal=ideal,
+                    num_qubits=executed.num_qubits,
+                    two_qubit_gates=executed.num_two_qubit_gates(),
+                    depth=executed.depth(),
+                    num_swaps=num_swaps,
+                    transpiled=transpiled,
+                    transpile_cache_hit=transpile_hit,
+                    ideal_cache_hit=ideal_hit,
+                    prepare_seconds=prepare_seconds,
+                    sample_seconds=sample_seconds,
+                    metadata=dict(job.metadata),
+                )
+            )
+        stats.wall_seconds = time.perf_counter() - wall_start
+        self.last_run_stats = stats
+        self.lifetime_stats.accumulate(stats)
+        return results
+
+    def run_single(self, job: CircuitJob, seed: int = 0) -> JobResult:
+        """Execute one job (convenience wrapper around :meth:`run`)."""
+        return self.run([job], seed=seed)[0]

@@ -1,0 +1,81 @@
+"""Stable content hashes for circuits and transpilation targets.
+
+The execution engine's cache is content-addressed: two jobs share a cache
+entry exactly when their circuit (instruction list), coupling map and basis
+gates are identical.  The fingerprints below are computed from a canonical
+binary encoding — gate names are length-prefixed, qubit indices and float
+parameters are packed at fixed width — so the digest is stable across
+processes and Python sessions (unlike ``hash()``, which is salted).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.coupling import CouplingMap
+
+__all__ = ["circuit_fingerprint", "coupling_fingerprint", "transpile_key", "ideal_key"]
+
+
+def _hash_circuit_into(digest: "hashlib._Hash", circuit: QuantumCircuit) -> None:
+    digest.update(struct.pack("<q", circuit.num_qubits))
+    digest.update(struct.pack("<q", len(circuit.instructions)))
+    for instruction in circuit.instructions:
+        name = instruction.name.encode("utf-8")
+        digest.update(struct.pack("<q", len(name)))
+        digest.update(name)
+        digest.update(struct.pack("<q", len(instruction.qubits)))
+        digest.update(struct.pack(f"<{len(instruction.qubits)}q", *instruction.qubits))
+        digest.update(struct.pack("<q", len(instruction.params)))
+        if instruction.params:
+            digest.update(struct.pack(f"<{len(instruction.params)}d", *instruction.params))
+
+
+def circuit_fingerprint(circuit: QuantumCircuit) -> str:
+    """Hex digest identifying a circuit by its exact instruction content.
+
+    The circuit ``name`` is deliberately excluded: it is a display label and
+    must not split cache entries for structurally identical circuits.
+    """
+    digest = hashlib.sha256(b"repro-circuit-v1")
+    _hash_circuit_into(digest, circuit)
+    return digest.hexdigest()
+
+
+def coupling_fingerprint(coupling_map: CouplingMap | None) -> str:
+    """Hex digest of a coupling map (qubit count + sorted edge set)."""
+    digest = hashlib.sha256(b"repro-coupling-v1")
+    if coupling_map is None:
+        digest.update(b"none")
+        return digest.hexdigest()
+    digest.update(struct.pack("<q", coupling_map.num_qubits))
+    edges = sorted((min(a, b), max(a, b)) for a, b in coupling_map.edges())
+    digest.update(struct.pack("<q", len(edges)))
+    for a, b in edges:
+        digest.update(struct.pack("<qq", a, b))
+    return digest.hexdigest()
+
+
+def transpile_key(
+    circuit: QuantumCircuit,
+    coupling_map: CouplingMap | None,
+    basis_gates: tuple[str, ...] | None,
+) -> str:
+    """Cache key of a transpilation request (circuit + target device shape)."""
+    digest = hashlib.sha256(b"repro-transpile-v1")
+    _hash_circuit_into(digest, circuit)
+    digest.update(coupling_fingerprint(coupling_map).encode("ascii"))
+    if basis_gates is None:
+        digest.update(b"basis:none")
+    else:
+        digest.update(("basis:" + ",".join(basis_gates)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def ideal_key(circuit: QuantumCircuit) -> str:
+    """Cache key of a circuit's noise-free measurement distribution."""
+    digest = hashlib.sha256(b"repro-ideal-v1")
+    _hash_circuit_into(digest, circuit)
+    return digest.hexdigest()

@@ -1,0 +1,118 @@
+"""Job and result schema of the execution engine.
+
+A :class:`CircuitJob` describes one circuit execution request — the logical
+circuit, the shot budget, the noise model, and (optionally) the device shape
+to transpile onto.  The engine turns a batch of jobs into
+:class:`JobResult` objects carrying both histograms plus the per-job timing
+and cache-hit metadata the experiment reports surface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.distribution import Distribution
+from repro.exceptions import EngineError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.coupling import CouplingMap
+from repro.quantum.noise import NoiseModel
+
+__all__ = ["CircuitJob", "JobResult"]
+
+_SAMPLING_METHODS = ("bitflip", "trajectory")
+
+
+@dataclass(frozen=True)
+class CircuitJob:
+    """One circuit-execution request in an engine batch.
+
+    Attributes
+    ----------
+    job_id:
+        Identifier, unique within its batch (used for result bookkeeping and
+        the cache-trace rows).
+    circuit:
+        The logical circuit to execute.
+    shots:
+        Number of noisy trials to sample.
+    noise_model:
+        Noise description of the simulated device (already scaled by the
+        study's ``noise_scale`` if any).
+    coupling_map / basis_gates:
+        Transpilation target.  When both are ``None`` the circuit runs as-is
+        (no routing, no basis decomposition).
+    map_to_logical:
+        When the circuit was routed, un-permute the measured bitstrings (and
+        the ideal distribution) back to logical qubit order.
+    method:
+        Sampling backend: ``"bitflip"`` (fast analytic) or ``"trajectory"``
+        (Monte-Carlo Pauli trajectories).
+    metadata:
+        Free-form study-level tags (device name, sweep coordinates, …),
+        copied onto the :class:`JobResult`.
+    """
+
+    job_id: str
+    circuit: QuantumCircuit
+    shots: int
+    noise_model: NoiseModel
+    coupling_map: CouplingMap | None = None
+    basis_gates: tuple[str, ...] | None = None
+    map_to_logical: bool = True
+    method: str = "bitflip"
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise EngineError("job_id must be a non-empty string")
+        if self.shots <= 0:
+            raise EngineError(f"job {self.job_id!r}: shots must be positive, got {self.shots}")
+        if self.method not in _SAMPLING_METHODS:
+            raise EngineError(
+                f"job {self.job_id!r}: unknown sampling method {self.method!r}; "
+                f"expected one of {_SAMPLING_METHODS}"
+            )
+
+    @property
+    def wants_transpile(self) -> bool:
+        """True when the job requests routing and/or basis decomposition."""
+        return self.coupling_map is not None or self.basis_gates is not None
+
+
+@dataclass
+class JobResult:
+    """Outcome of one executed :class:`CircuitJob`.
+
+    ``noisy`` and ``ideal`` are in logical bit order when the job asked for
+    ``map_to_logical`` (the default), physical order otherwise.  The timing
+    fields attribute shared prepare work (transpile + ideal simulation) to
+    the first job in the batch that triggered it; cache hits report 0.0.
+    """
+
+    job_id: str
+    noisy: Distribution
+    ideal: Distribution
+    num_qubits: int
+    two_qubit_gates: int
+    depth: int
+    num_swaps: int
+    transpiled: bool
+    transpile_cache_hit: bool
+    ideal_cache_hit: bool
+    prepare_seconds: float
+    sample_seconds: float
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def as_trace_row(self) -> dict[str, Any]:
+        """Flat row for trace tables (same shape as ``trace_pipeline`` rows)."""
+        return {
+            "job_id": self.job_id,
+            "num_qubits": self.num_qubits,
+            "two_qubit_gates": self.two_qubit_gates,
+            "transpile_cache_hit": self.transpile_cache_hit,
+            "ideal_cache_hit": self.ideal_cache_hit,
+            "prepare_seconds": self.prepare_seconds,
+            "sample_seconds": self.sample_seconds,
+        }

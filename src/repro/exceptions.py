@@ -44,6 +44,10 @@ class GraphError(ReproError):
     """Raised for invalid max-cut problem graphs."""
 
 
+class EngineError(ReproError):
+    """Raised when an execution-engine job batch or cache is misconfigured."""
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment is configured inconsistently."""
 

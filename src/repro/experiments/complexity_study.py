@@ -8,15 +8,15 @@ the implementation on synthetic histograms of increasing support size.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.distribution import Distribution
 from repro.core.hammer import hammer
-from repro.experiments.runner import ExperimentReport
+from repro.engine import ExecutionEngine
 from repro.exceptions import ExperimentError
+from repro.experiments.runner import ExperimentReport
 
 __all__ = [
     "ComplexityStudyConfig",
@@ -110,19 +110,37 @@ def synthetic_histogram(
     return Distribution(data, num_bits=num_bits, validate=False)
 
 
-def run_runtime_scaling(config: ComplexityStudyConfig | None = None) -> ExperimentReport:
-    """Measure HAMMER wall-clock time vs number of unique outcomes."""
+def _hammer_once(distribution: Distribution) -> int:
+    """Engine task: run HAMMER and return the support size (module-level so it pickles)."""
+    hammer(distribution)
+    return distribution.num_outcomes
+
+
+def run_runtime_scaling(
+    config: ComplexityStudyConfig | None = None,
+    engine: ExecutionEngine | None = None,
+) -> ExperimentReport:
+    """Measure HAMMER wall-clock time vs number of unique outcomes.
+
+    The per-support-size timings run through the engine's generic
+    :meth:`~repro.engine.engine.ExecutionEngine.map_timed`; keep the default
+    serial engine for clean timings (parallel workers contend for cores and
+    perturb the scaling exponent).
+    """
     config = config or ComplexityStudyConfig()
+    engine = engine or ExecutionEngine()
     rng = np.random.default_rng(config.seed)
+    distributions = [
+        synthetic_histogram(support_size, config.num_bits, rng)
+        for support_size in config.support_sizes
+    ]
     rows = []
-    for support_size in config.support_sizes:
-        distribution = synthetic_histogram(support_size, config.num_bits, rng)
-        start = time.perf_counter()
-        hammer(distribution)
-        elapsed = time.perf_counter() - start
+    for distribution, (num_outcomes, elapsed) in zip(
+        distributions, engine.map_timed(_hammer_once, distributions)
+    ):
         rows.append(
             {
-                "unique_outcomes": distribution.num_outcomes,
+                "unique_outcomes": num_outcomes,
                 "num_bits": config.num_bits,
                 "runtime_seconds": elapsed,
                 "operations_billion": analytic_operation_count(distribution.num_outcomes) / 1e9,

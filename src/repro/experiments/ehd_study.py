@@ -4,7 +4,10 @@ The paper shows that the EHD of noisy output distributions grows with circuit
 size much more slowly than the uniform-error model's ``n/2``, and that BV
 loses structure faster than QAOA because its depth grows super-linearly.
 This module sweeps circuit width for each workload family and records EHD
-against the uniform-error reference.
+against the uniform-error reference.  Each width is one engine job; Figure 12
+re-runs the five workload sweeps through one shared engine, so identical
+circuits (e.g. the same BV width across the IBM panels) transpile and
+simulate once.
 """
 
 from __future__ import annotations
@@ -16,14 +19,12 @@ import numpy as np
 from repro.circuits.bv import bernstein_vazirani, bv_secret_key
 from repro.circuits.qaoa import default_qaoa_parameters, qaoa_circuit
 from repro.core.spectrum import expected_hamming_distance, uniform_model_ehd
-from repro.experiments.runner import ExperimentReport
+from repro.engine import CircuitJob, ExecutionEngine
 from repro.exceptions import ExperimentError
+from repro.experiments.runner import ExperimentReport, attach_engine_meta
 from repro.maxcut.cost import CutCostEvaluator
 from repro.maxcut.graphs import grid_graph_problem, regular_graph_problem
 from repro.quantum.device import DeviceProfile, google_sycamore, ibm_paris
-from repro.quantum.sampler import NoisySampler
-from repro.quantum.statevector import simulate_statevector
-from repro.quantum.transpiler import transpile
 
 __all__ = ["EhdStudyConfig", "run_ehd_scaling", "run_ehd_dataset_comparison"]
 
@@ -59,20 +60,6 @@ class EhdStudyConfig:
             raise ExperimentError("shots must be positive")
 
 
-def _sample(circuit, device: DeviceProfile, config: EhdStudyConfig, seed: int):
-    sampler = NoisySampler(
-        noise_model=device.noise_model.scaled(config.noise_scale),
-        shots=config.shots,
-        seed=seed,
-    )
-    if config.transpile_circuits:
-        transpiled = transpile(circuit, coupling_map=device.coupling_map, basis_gates=device.basis_gates)
-        ideal = simulate_statevector(transpiled.circuit).measurement_distribution()
-        return sampler.run(transpiled.circuit, ideal=ideal).mapped(transpiled.measurement_permutation())
-    ideal = simulate_statevector(circuit).measurement_distribution()
-    return sampler.run(circuit, ideal=ideal)
-
-
 def _qaoa_workload(num_qubits: int, num_layers: int, family: str, seed: int):
     """Build a QAOA circuit and its correct (optimal-cut) outcomes."""
     if family == "grid":
@@ -85,36 +72,66 @@ def _qaoa_workload(num_qubits: int, num_layers: int, family: str, seed: int):
     return circuit, correct, problem.num_nodes
 
 
+def _build_workload(workload: str, num_qubits: int, seed: int):
+    """Circuit + correct outcome set + output width for one sweep point."""
+    if workload == "bv":
+        key = bv_secret_key(num_qubits, "ones")
+        return bernstein_vazirani(key), [key], num_qubits
+    if workload in ("qaoa-p2", "qaoa-p4"):
+        layers = 2 if workload.endswith("p2") else 4
+        return _qaoa_workload(num_qubits, layers, "3-regular", seed)
+    if workload == "grid-qaoa-p4":
+        return _qaoa_workload(num_qubits, 4, "grid", seed)
+    if workload == "3reg-qaoa-p3":
+        return _qaoa_workload(num_qubits, 3, "3-regular", seed)
+    raise ExperimentError(f"unknown workload {workload!r}")
+
+
 def run_ehd_scaling(
     workload: str = "qaoa-p2",
     config: EhdStudyConfig | None = None,
     device: DeviceProfile | None = None,
+    engine: ExecutionEngine | None = None,
+    sampling_seed: int | None = None,
 ) -> ExperimentReport:
     """Figure 1(b) / 12(a): EHD vs number of qubits for one workload family.
 
     Supported workloads: ``"bv"``, ``"qaoa-p2"``, ``"qaoa-p4"``,
     ``"grid-qaoa-p4"``, ``"3reg-qaoa-p3"``.
+
+    ``sampling_seed`` overrides the engine batch seed (the workload/problem
+    construction always follows ``config.seed``): the Figure-12 comparison
+    uses it to decorrelate shot noise across panels while keeping the same
+    graph instances.
     """
     config = config or EhdStudyConfig()
     device = device or ibm_paris()
+    engine = engine or ExecutionEngine()
     rng = np.random.default_rng(config.seed)
-    rows = []
+    noise_model = device.noise_model.scaled(config.noise_scale)
+    jobs: list[CircuitJob] = []
+    correct_sets: list[list[str]] = []
     for num_qubits in config.qubit_values:
         seed = int(rng.integers(0, 2**31))
-        if workload == "bv":
-            key = bv_secret_key(num_qubits, "ones")
-            circuit, correct, width = bernstein_vazirani(key), [key], num_qubits
-        elif workload in ("qaoa-p2", "qaoa-p4"):
-            layers = 2 if workload.endswith("p2") else 4
-            circuit, correct, width = _qaoa_workload(num_qubits, layers, "3-regular", seed)
-        elif workload == "grid-qaoa-p4":
-            circuit, correct, width = _qaoa_workload(num_qubits, 4, "grid", seed)
-        elif workload == "3reg-qaoa-p3":
-            circuit, correct, width = _qaoa_workload(num_qubits, 3, "3-regular", seed)
-        else:
-            raise ExperimentError(f"unknown workload {workload!r}")
-        noisy = _sample(circuit, device, config, seed)
-        ehd = expected_hamming_distance(noisy, correct)
+        circuit, correct, width = _build_workload(workload, num_qubits, seed)
+        correct_sets.append(correct)
+        jobs.append(
+            CircuitJob(
+                job_id=f"ehd-{workload}-{device.name}-n{num_qubits}",
+                circuit=circuit,
+                shots=config.shots,
+                noise_model=noise_model,
+                coupling_map=device.coupling_map if config.transpile_circuits else None,
+                basis_gates=device.basis_gates if config.transpile_circuits else None,
+                metadata={"workload": workload, "width": width},
+            )
+        )
+    results = engine.run(jobs, seed=config.seed if sampling_seed is None else sampling_seed)
+
+    rows = []
+    for result, correct in zip(results, correct_sets):
+        width = result.metadata["width"]
+        ehd = expected_hamming_distance(result.noisy, correct)
         rows.append(
             {
                 "workload": workload,
@@ -130,25 +147,37 @@ def run_ehd_scaling(
     report.summary["fraction_below_uniform"] = float(
         np.mean([1.0 if r["ehd"] < r["uniform_ehd"] else 0.0 for r in rows])
     )
-    return report
+    return attach_engine_meta(report, engine)
 
 
 def run_ehd_dataset_comparison(
     config: EhdStudyConfig | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Figure 12: EHD vs qubits for the IBM (BV, QAOA p=2/p=4) and Google workloads."""
     config = config or EhdStudyConfig()
+    engine = engine or ExecutionEngine()
     ibm_device = ibm_paris()
     google_device = google_sycamore()
     rows: list[dict[str, object]] = []
-    for workload, device in (
-        ("bv", ibm_device),
-        ("qaoa-p2", ibm_device),
-        ("qaoa-p4", ibm_device),
-        ("3reg-qaoa-p3", google_device),
-        ("grid-qaoa-p4", google_device),
+    for panel_index, (workload, device) in enumerate(
+        (
+            ("bv", ibm_device),
+            ("qaoa-p2", ibm_device),
+            ("qaoa-p4", ibm_device),
+            ("3reg-qaoa-p3", google_device),
+            ("grid-qaoa-p4", google_device),
+        )
     ):
-        sub_report = run_ehd_scaling(workload, config=config, device=device)
+        # Same graphs per width across panels (config.seed), but independent
+        # shot noise: job i of every panel must not share its RNG stream.
+        sub_report = run_ehd_scaling(
+            workload,
+            config=config,
+            device=device,
+            engine=engine,
+            sampling_seed=config.seed + panel_index,
+        )
         for row in sub_report.rows:
             row = dict(row)
             row["device"] = device.name
@@ -168,4 +197,4 @@ def run_ehd_dataset_comparison(
         )
         report.summary["bv_ehd_slope"] = float(bv_slope)
         report.summary["qaoa_p2_ehd_slope"] = float(qaoa_slope)
-    return report
+    return attach_engine_meta(report, engine)

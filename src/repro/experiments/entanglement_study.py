@@ -23,12 +23,12 @@ from repro.circuits.random_identity import (
     random_identity_circuit,
 )
 from repro.core.spectrum import expected_hamming_distance, uniform_model_ehd
-from repro.experiments.runner import ExperimentReport
+from repro.engine import CircuitJob, ExecutionEngine
 from repro.exceptions import ExperimentError
+from repro.experiments.runner import ExperimentReport, attach_engine_meta
 from repro.metrics.fidelity import probability_of_successful_trial
 from repro.metrics.hamming_metrics import spearman_correlation
 from repro.quantum.device import DeviceProfile, ibm_paris
-from repro.quantum.sampler import NoisySampler
 
 __all__ = ["EntanglementStudyConfig", "run_entanglement_study"]
 
@@ -75,6 +75,7 @@ def run_entanglement_study(
     config: EntanglementStudyConfig | None = None,
     device: DeviceProfile | None = None,
     depth_class: str = "high",
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Reproduce one panel pair of Figure 11 (EHD vs entropy, EHD vs fidelity).
 
@@ -85,6 +86,7 @@ def run_entanglement_study(
     """
     config = config or EntanglementStudyConfig()
     device = device or ibm_paris()
+    engine = engine or ExecutionEngine()
     if depth_class == "high":
         depth = config.high_depth
     elif depth_class == "low":
@@ -94,12 +96,8 @@ def run_entanglement_study(
 
     rng = np.random.default_rng(config.seed)
     correct = identity_correct_outcome(config.num_qubits)
-    sampler = NoisySampler(
-        noise_model=device.noise_model.scaled(config.noise_scale),
-        shots=config.shots,
-        seed=int(rng.integers(0, 2**31)),
-    )
-    rows = []
+    noise_model = device.noise_model.scaled(config.noise_scale)
+    jobs: list[CircuitJob] = []
     for index in range(config.num_circuits):
         spec = RandomIdentitySpec(
             num_qubits=config.num_qubits,
@@ -108,15 +106,28 @@ def run_entanglement_study(
             seed=int(rng.integers(0, 2**31)),
         )
         circuit, entropy = random_identity_circuit(spec)
-        noisy = sampler.run(circuit)
+        jobs.append(
+            CircuitJob(
+                job_id=f"entanglement-{depth_class}-{index}",
+                circuit=circuit,
+                shots=config.shots,
+                noise_model=noise_model,
+                metadata={"circuit_index": index, "entropy": entropy},
+            )
+        )
+    results = engine.run(jobs, seed=config.seed)
+
+    rows = []
+    for result in results:
+        noisy = result.noisy
         ehd = expected_hamming_distance(noisy, [correct])
         fidelity = probability_of_successful_trial(noisy, correct)
         rows.append(
             {
-                "circuit_index": index,
+                "circuit_index": result.metadata["circuit_index"],
                 "depth_class": depth_class,
-                "two_qubit_gates": circuit.num_two_qubit_gates(),
-                "entanglement_entropy": entropy,
+                "two_qubit_gates": result.two_qubit_gates,
+                "entanglement_entropy": result.metadata["entropy"],
                 "fidelity": fidelity,
                 "ehd": ehd,
                 "uniform_ehd": uniform_model_ehd(config.num_qubits),
@@ -132,4 +143,4 @@ def run_entanglement_study(
     report.summary["fraction_below_uniform"] = float(
         np.mean([1.0 if r["ehd"] < r["uniform_ehd"] else 0.0 for r in rows])
     )
-    return report
+    return attach_engine_meta(report, engine)

@@ -16,14 +16,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.hammer import HammerConfig, hammer
-from repro.experiments.runner import ExperimentReport
+from repro.engine import CircuitJob, ExecutionEngine
 from repro.exceptions import ExperimentError
+from repro.experiments.runner import ExperimentReport, attach_engine_meta
 from repro.maxcut.cost import CutCostEvaluator
 from repro.maxcut.graphs import regular_graph_problem
-from repro.maxcut.landscape import landscape_sharpness, scan_landscape
+from repro.maxcut.landscape import landscape_circuits, landscape_sharpness, scan_from_distributions
 from repro.quantum.device import DeviceProfile, google_sycamore
-from repro.quantum.sampler import NoisySampler
-from repro.quantum.statevector import simulate_statevector
 
 __all__ = ["LandscapeStudyConfig", "run_neighbor_cost_study", "run_landscape_study"]
 
@@ -97,35 +96,43 @@ def run_landscape_study(
     config: LandscapeStudyConfig | None = None,
     device: DeviceProfile | None = None,
     hammer_config: HammerConfig | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
-    """Figures 1(c)/10(b): (β, γ) landscape for ideal / baseline / HAMMER executions."""
+    """Figures 1(c)/10(b): (β, γ) landscape for ideal / baseline / HAMMER executions.
+
+    The whole grid is one engine batch; the ideal scan reuses the engine's
+    per-circuit ideal distributions and the HAMMER scan post-processes the
+    same noisy histograms the baseline scan scores (paired surfaces, as when
+    post-processing one hardware run).
+    """
     config = config or LandscapeStudyConfig()
     device = device or google_sycamore()
+    engine = engine or ExecutionEngine()
     nodes = config.num_nodes if config.num_nodes % 2 == 0 else config.num_nodes + 1
     problem = regular_graph_problem(nodes, degree=3, seed=config.seed)
     betas = np.linspace(-0.8, 0.0, config.grid_points)
     gammas = np.linspace(0.0, 1.2, config.grid_points)
 
-    sampler = NoisySampler(
-        noise_model=device.noise_model.scaled(config.noise_scale),
-        shots=config.shots,
-        seed=config.seed,
-    )
-
-    def ideal_executor(circuit):
-        return simulate_statevector(circuit).measurement_distribution()
-
-    def noisy_executor(circuit):
-        ideal = simulate_statevector(circuit).measurement_distribution()
-        return sampler.run(circuit, ideal=ideal)
-
-    def hammer_executor(circuit):
-        return hammer(noisy_executor(circuit), hammer_config)
+    noise_model = device.noise_model.scaled(config.noise_scale)
+    grid = landscape_circuits(problem, betas, gammas)
+    jobs = [
+        CircuitJob(
+            job_id=f"landscape-{device.name}-b{index // len(gammas)}-g{index % len(gammas)}",
+            circuit=circuit,
+            shots=config.shots,
+            noise_model=noise_model,
+            metadata={"beta": beta, "gamma": gamma},
+        )
+        for index, (beta, gamma, circuit) in enumerate(grid)
+    ]
+    results = engine.run(jobs, seed=config.seed)
 
     scans = {
-        "ideal": scan_landscape(problem, ideal_executor, betas, gammas),
-        "baseline": scan_landscape(problem, noisy_executor, betas, gammas),
-        "hammer": scan_landscape(problem, hammer_executor, betas, gammas),
+        "ideal": scan_from_distributions(problem, betas, gammas, [r.ideal for r in results]),
+        "baseline": scan_from_distributions(problem, betas, gammas, [r.noisy for r in results]),
+        "hammer": scan_from_distributions(
+            problem, betas, gammas, [hammer(r.noisy, hammer_config) for r in results]
+        ),
     }
     rows = []
     for label, scan in scans.items():
@@ -146,4 +153,4 @@ def run_landscape_study(
     report.summary["sharpness_gain"] = (
         report.summary["hammer_sharpness"] - report.summary["baseline_sharpness"]
     )
-    return report
+    return attach_engine_meta(report, engine)

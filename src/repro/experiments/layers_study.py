@@ -5,6 +5,10 @@ hardware, deeper circuits accumulate more error, so the baseline quality
 peaks at a small ``p`` (the paper observes p=2 on Sycamore) and then
 degrades; HAMMER pushes the peak to a larger ``p`` (p=3 in the paper),
 reclaiming some of the algorithmic benefit of depth.
+
+The (node count x layer count) sweep is one engine batch: every grid point
+is an independent job, and the noiseless Cost Ratio comes straight from the
+engine's (cached) ideal distribution — no separate statevector pass.
 """
 
 from __future__ import annotations
@@ -15,14 +19,13 @@ import numpy as np
 
 from repro.circuits.qaoa import default_qaoa_parameters, qaoa_circuit
 from repro.core.hammer import HammerConfig, hammer
-from repro.experiments.runner import ExperimentReport
+from repro.engine import CircuitJob, ExecutionEngine
 from repro.exceptions import ExperimentError
+from repro.experiments.runner import ExperimentReport, attach_engine_meta
 from repro.maxcut.cost import CutCostEvaluator
 from repro.maxcut.graphs import grid_graph_problem
 from repro.metrics.qaoa_metrics import cost_ratio
 from repro.quantum.device import DeviceProfile, google_sycamore
-from repro.quantum.sampler import NoisySampler
-from repro.quantum.statevector import simulate_statevector
 
 __all__ = ["LayersStudyConfig", "run_layers_study"]
 
@@ -62,31 +65,49 @@ def run_layers_study(
     config: LayersStudyConfig | None = None,
     device: DeviceProfile | None = None,
     hammer_config: HammerConfig | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Reproduce Figure 10(a): CR vs p for noiseless, baseline and HAMMER."""
     config = config or LayersStudyConfig()
     device = device or google_sycamore()
+    engine = engine or ExecutionEngine()
     rng = np.random.default_rng(config.seed)
+    noise_model = device.noise_model.scaled(config.noise_scale)
+
+    evaluators: dict[int, CutCostEvaluator] = {}
+    jobs: list[CircuitJob] = []
+    for num_nodes in config.node_values:
+        problem = grid_graph_problem(num_nodes, seed=int(rng.integers(0, 2**31)))
+        evaluators[num_nodes] = CutCostEvaluator(problem)
+        for num_layers in config.layer_values:
+            jobs.append(
+                CircuitJob(
+                    job_id=f"layers-{device.name}-n{num_nodes}-p{num_layers}",
+                    circuit=qaoa_circuit(problem, default_qaoa_parameters(num_layers)),
+                    shots=config.shots,
+                    noise_model=noise_model,
+                    metadata={"num_nodes": num_nodes, "num_layers": num_layers},
+                )
+            )
+    results = engine.run(jobs, seed=config.seed)
+
     per_layer: dict[int, dict[str, list[float]]] = {
         p: {"noiseless": [], "baseline": [], "hammer": []} for p in config.layer_values
     }
-    for num_nodes in config.node_values:
-        problem = grid_graph_problem(num_nodes, seed=int(rng.integers(0, 2**31)))
-        evaluator = CutCostEvaluator(problem)
+    for result in results:
+        evaluator = evaluators[result.metadata["num_nodes"]]
         minimum_cost = evaluator.minimum_cost()
-        sampler = NoisySampler(
-            noise_model=device.noise_model.scaled(config.noise_scale),
-            shots=config.shots,
-            seed=int(rng.integers(0, 2**31)),
+        num_layers = result.metadata["num_layers"]
+        reconstructed = hammer(result.noisy, hammer_config)
+        per_layer[num_layers]["noiseless"].append(
+            cost_ratio(result.ideal, evaluator.cost, minimum_cost)
         )
-        for num_layers in config.layer_values:
-            circuit = qaoa_circuit(problem, default_qaoa_parameters(num_layers))
-            ideal = simulate_statevector(circuit).measurement_distribution()
-            noisy = sampler.run(circuit, ideal=ideal)
-            reconstructed = hammer(noisy, hammer_config)
-            per_layer[num_layers]["noiseless"].append(cost_ratio(ideal, evaluator.cost, minimum_cost))
-            per_layer[num_layers]["baseline"].append(cost_ratio(noisy, evaluator.cost, minimum_cost))
-            per_layer[num_layers]["hammer"].append(cost_ratio(reconstructed, evaluator.cost, minimum_cost))
+        per_layer[num_layers]["baseline"].append(
+            cost_ratio(result.noisy, evaluator.cost, minimum_cost)
+        )
+        per_layer[num_layers]["hammer"].append(
+            cost_ratio(reconstructed, evaluator.cost, minimum_cost)
+        )
 
     rows = []
     for num_layers in config.layer_values:
@@ -105,4 +126,4 @@ def run_layers_study(
     report.summary["mean_hammer_gain"] = float(
         np.mean([r["hammer_cr"] - r["baseline_cr"] for r in rows])
     )
-    return report
+    return attach_engine_meta(report, engine)

@@ -20,8 +20,9 @@ from repro.core.hammer import HammerConfig, hammer
 from repro.datasets.google_qaoa import GoogleDatasetConfig, generate_google_dataset, small_table1_config
 from repro.datasets.ibm_suite import IbmSuiteConfig, generate_qaoa_records, small_table2_config
 from repro.datasets.records import CircuitRecord
-from repro.experiments.runner import ExperimentReport, gmean_of_ratios
+from repro.engine import ExecutionEngine
 from repro.exceptions import ExperimentError
+from repro.experiments.runner import ExperimentReport, attach_engine_meta, gmean_of_ratios
 from repro.metrics.fidelity import relative_improvement, total_variation_distance
 from repro.metrics.qaoa_metrics import cost_ratio, cumulative_quality_probability, solution_quality_curve
 
@@ -59,10 +60,12 @@ def run_cost_ratio_scurve(
     family: str = "3-regular",
     config: GoogleDatasetConfig | None = None,
     hammer_config: HammerConfig | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Figure 9(a)/(c): Cost-Ratio S-curve for one Google-dataset graph family."""
+    engine = engine or ExecutionEngine()
     if records is None:
-        records = generate_google_dataset(config or small_table1_config())
+        records = generate_google_dataset(config or small_table1_config(), engine=engine)
     selected = [
         r for r in records if r.benchmark == "qaoa" and r.metadata.get("family", family) == family
     ]
@@ -80,7 +83,7 @@ def run_cost_ratio_scurve(
     report.summary["gmean_cr_improvement"] = gmean_of_ratios(rows, "cr_improvement")
     report.summary["fraction_improved"] = float(np.mean([1.0 if r["hammer_wins"] else 0.0 for r in rows]))
     report.summary["max_cr_improvement"] = float(max(r["cr_improvement"] for r in rows))
-    return report
+    return attach_engine_meta(report, engine)
 
 
 def run_quality_distribution_example(
@@ -89,10 +92,12 @@ def run_quality_distribution_example(
     family: str = "3-regular",
     config: GoogleDatasetConfig | None = None,
     hammer_config: HammerConfig | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Figure 9(b)/(d): cumulative probability vs solution quality for one instance."""
+    engine = engine or ExecutionEngine()
     if records is None:
-        records = generate_google_dataset(config or small_table1_config())
+        records = generate_google_dataset(config or small_table1_config(), engine=engine)
     candidates = [
         r
         for r in records
@@ -128,17 +133,19 @@ def run_quality_distribution_example(
     report.summary["optimal_mass_gain"] = (
         report.summary["hammer_optimal_mass"] - report.summary["baseline_optimal_mass"]
     )
-    return report
+    return attach_engine_meta(report, engine)
 
 
 def run_ibm_qaoa_study(
     records: list[CircuitRecord] | None = None,
     config: IbmSuiteConfig | None = None,
     hammer_config: HammerConfig | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Section 6.4 (IBM dataset): TVD decrease and CR increase from HAMMER."""
+    engine = engine or ExecutionEngine()
     if records is None:
-        records = generate_qaoa_records(config or small_table2_config())
+        records = generate_qaoa_records(config or small_table2_config(), engine=engine)
     qaoa_records = [r for r in records if r.benchmark == "qaoa"]
     if not qaoa_records:
         raise ExperimentError("no IBM QAOA records available")
@@ -171,4 +178,4 @@ def run_ibm_qaoa_study(
     report.summary["mean_tvd_reduction"] = float(np.mean([r["tvd_reduction"] for r in rows]))
     report.summary["mean_cr_improvement"] = float(np.mean([r["cr_improvement"] for r in rows]))
     report.summary["gmean_cr_improvement"] = gmean_of_ratios(rows, "cr_improvement")
-    return report
+    return attach_engine_meta(report, engine)

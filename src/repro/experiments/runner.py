@@ -8,15 +8,20 @@ those rows for the CLI / benchmark output and compute the summary statistics
 
 from __future__ import annotations
 
+import json
+import math
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
+
+import numpy as np
 
 from repro.exceptions import ExperimentError
 from repro.metrics.fidelity import geometric_mean
 
 __all__ = [
     "ExperimentReport",
+    "attach_engine_meta",
     "format_table",
     "gmean_of_ratios",
     "trace_pipeline",
@@ -85,6 +90,37 @@ def gmean_of_ratios(rows: Iterable[Mapping[str, Any]], ratio_key: str) -> float:
     return geometric_mean(values)
 
 
+def _json_default(value: Any) -> Any:
+    """Coerce the numpy scalars/arrays that land in experiment rows to JSON."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"value of type {type(value).__name__} is not JSON serialisable")
+
+
+def _json_sanitize(value: Any) -> Any:
+    """Replace non-finite floats with ``None`` so the artifact is strict JSON.
+
+    ``inf`` is a legitimate row value (e.g. IST improvement over a zero
+    baseline) but ``json.dumps`` would emit the non-standard ``Infinity``
+    token, which strict parsers (jq, JavaScript) reject.
+    """
+    if isinstance(value, dict):
+        return {key: _json_sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_sanitize(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [_json_sanitize(item) for item in value.tolist()]
+    if isinstance(value, (float, np.floating)) and not math.isfinite(value):
+        return None
+    return value
+
+
 @dataclass
 class ExperimentReport:
     """A named experiment result: rows plus headline summary numbers.
@@ -97,11 +133,17 @@ class ExperimentReport:
         One flat dictionary per data point of the reproduced figure/table.
     summary:
         Headline scalars (e.g. ``{"gmean_pst_improvement": 1.41}``).
+    meta:
+        Run provenance that is not part of the reproduced figure — engine
+        statistics (cache hits, timings, worker count), per-job trace rows,
+        configuration echoes.  Serialised by :meth:`to_json`, omitted from
+        :meth:`to_text`.
     """
 
     name: str
     rows: list[dict[str, Any]] = field(default_factory=list)
     summary: dict[str, float] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
 
     def to_text(self) -> str:
         """Human-readable rendering: summary block followed by the row table."""
@@ -111,8 +153,63 @@ class ExperimentReport:
         lines.append(format_table(self.rows))
         return "\n".join(lines)
 
+    def to_json(self, indent: int | None = 2) -> str:
+        """Machine-readable artifact: name, rows, summary and meta as JSON.
+
+        Non-finite floats serialise as ``null`` (strict JSON has no
+        ``Infinity``/``NaN`` tokens).
+        """
+        payload = _json_sanitize(
+            {
+                "name": self.name,
+                "rows": self.rows,
+                "summary": self.summary,
+                "meta": self.meta,
+            }
+        )
+        return json.dumps(payload, indent=indent, allow_nan=False, default=_json_default)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ExperimentError(f"invalid report JSON: {error}") from error
+        if not isinstance(payload, dict) or "name" not in payload:
+            raise ExperimentError("report JSON must be an object with a 'name' field")
+        return cls(
+            name=str(payload["name"]),
+            rows=list(payload.get("rows", [])),
+            summary=dict(payload.get("summary", {})),
+            meta=dict(payload.get("meta", {})),
+        )
+
     def summary_value(self, key: str) -> float:
         """Fetch one headline number, raising a clear error when missing."""
         if key not in self.summary:
             raise ExperimentError(f"report {self.name!r} has no summary value {key!r}")
         return self.summary[key]
+
+
+def attach_engine_meta(report: ExperimentReport, engine, trace=None) -> ExperimentReport:
+    """Record an engine's lifetime statistics (and optional per-job trace) on a report.
+
+    The lifetime totals are used rather than the last batch's: studies like
+    fig12 or headline push several batches through one shared engine, and the
+    report should account for the whole sweep (consistent with the cache's
+    cumulative hit/miss counters, which ride along).
+
+    ``trace`` accepts the :class:`~repro.engine.jobs.JobResult` list of a
+    run; each result contributes one ``as_trace_row`` dict, giving the JSON
+    artifact the same per-stage visibility :func:`trace_pipeline` rows give
+    the post-processing pipeline.
+    """
+    stats = getattr(engine, "lifetime_stats", None)
+    if stats is not None and stats.num_jobs > 0:
+        engine_meta = stats.as_dict()
+        engine_meta.update(engine.cache.stats())
+        report.meta["engine"] = engine_meta
+    if trace is not None:
+        report.meta["jobs"] = [result.as_trace_row() for result in trace]
+    return report

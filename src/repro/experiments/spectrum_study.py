@@ -24,18 +24,15 @@ import numpy as np
 from repro.circuits.bv import bernstein_vazirani, bv_secret_key
 from repro.circuits.ghz import ghz_circuit, ghz_correct_outcomes
 from repro.circuits.qaoa import default_qaoa_parameters, qaoa_circuit
-from repro.core.distribution import Distribution
 from repro.core.hammer import HammerConfig, neighborhood_scores
 from repro.core.spectrum import cumulative_hamming_strength, hamming_spectrum
-from repro.experiments.runner import ExperimentReport
+from repro.engine import CircuitJob, ExecutionEngine, JobResult
 from repro.exceptions import ExperimentError
+from repro.experiments.runner import ExperimentReport, attach_engine_meta
 from repro.maxcut.cost import CutCostEvaluator
 from repro.maxcut.graphs import regular_graph_problem
 from repro.metrics.fidelity import probability_of_successful_trial
 from repro.quantum.device import DeviceProfile, ibm_manhattan, ibm_paris
-from repro.quantum.sampler import NoisySampler
-from repro.quantum.statevector import simulate_statevector
-from repro.quantum.transpiler import transpile
 
 __all__ = [
     "SpectrumStudyConfig",
@@ -61,31 +58,39 @@ class SpectrumStudyConfig:
             raise ExperimentError("shots must be positive")
 
 
-def _sample_circuit(circuit, device: DeviceProfile, config: SpectrumStudyConfig) -> Distribution:
-    """Transpile (optionally) and sample a circuit on a simulated device."""
-    sampler = NoisySampler(
-        noise_model=device.noise_model.scaled(config.noise_scale),
+def _execute_circuit(
+    circuit,
+    device: DeviceProfile,
+    config: SpectrumStudyConfig,
+    engine: ExecutionEngine,
+    job_id: str,
+) -> JobResult:
+    """Run one characterisation circuit through the engine."""
+    job = CircuitJob(
+        job_id=job_id,
+        circuit=circuit,
         shots=config.shots,
-        seed=config.seed,
+        noise_model=device.noise_model.scaled(config.noise_scale),
+        coupling_map=device.coupling_map if config.transpile_circuits else None,
+        basis_gates=device.basis_gates if config.transpile_circuits else None,
     )
-    if config.transpile_circuits:
-        transpiled = transpile(circuit, coupling_map=device.coupling_map, basis_gates=device.basis_gates)
-        ideal = simulate_statevector(transpiled.circuit).measurement_distribution()
-        return sampler.run(transpiled.circuit, ideal=ideal).mapped(transpiled.measurement_permutation())
-    ideal = simulate_statevector(circuit).measurement_distribution()
-    return sampler.run(circuit, ideal=ideal)
+    return engine.run_single(job, seed=config.seed)
 
 
 def run_bv_histogram_example(
     num_qubits: int = 4,
     device: DeviceProfile | None = None,
     config: SpectrumStudyConfig | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Figure 1(a): noisy histogram of a small BV circuit with Hamming annotations."""
     config = config or SpectrumStudyConfig()
     device = device or ibm_paris()
+    engine = engine or ExecutionEngine()
     secret_key = bv_secret_key(num_qubits, "ones")
-    noisy = _sample_circuit(bernstein_vazirani(secret_key), device, config)
+    noisy = _execute_circuit(
+        bernstein_vazirani(secret_key), device, config, engine, f"fig1a-bv{num_qubits}"
+    ).noisy
     rows = []
     for outcome, probability in noisy.ranked_outcomes():
         distance = sum(a != b for a, b in zip(outcome, secret_key))
@@ -101,23 +106,25 @@ def run_bv_histogram_example(
     report.summary["correct_probability"] = probability_of_successful_trial(noisy, secret_key)
     within_two = sum(r["probability"] for r in rows if r["hamming_distance"] <= 2)
     report.summary["mass_within_distance_2"] = float(within_two)
-    return report
+    return attach_engine_meta(report, engine)
 
 
 def run_noise_impact_example(
     num_qubits: int = 9,
     device: DeviceProfile | None = None,
     config: SpectrumStudyConfig | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Figure 2(d): ideal vs noisy expected cut cost of a QAOA instance."""
     config = config or SpectrumStudyConfig()
     device = device or ibm_paris()
+    engine = engine or ExecutionEngine()
     nodes = num_qubits if num_qubits % 2 == 0 else num_qubits + 1
     problem = regular_graph_problem(nodes, degree=3, seed=config.seed)
     circuit = qaoa_circuit(problem, default_qaoa_parameters(1))
     evaluator = CutCostEvaluator(problem)
-    ideal = simulate_statevector(circuit).measurement_distribution()
-    noisy = _sample_circuit(circuit, device, config)
+    result = _execute_circuit(circuit, device, config, engine, f"fig2d-qaoa{nodes}")
+    ideal, noisy = result.ideal, result.noisy
     ideal_expected = evaluator.expected_cost(ideal)
     noisy_expected = evaluator.expected_cost(noisy)
     rows = [
@@ -136,7 +143,7 @@ def run_noise_impact_example(
     report.summary["ideal_expected_cost"] = rows[0]["expected_cost"]
     report.summary["noisy_expected_cost"] = rows[1]["expected_cost"]
     report.summary["cost_degradation"] = rows[0]["cost_ratio"] - rows[1]["cost_ratio"]
-    return report
+    return attach_engine_meta(report, engine)
 
 
 def run_hamming_spectrum(
@@ -144,10 +151,12 @@ def run_hamming_spectrum(
     num_qubits: int = 8,
     device: DeviceProfile | None = None,
     config: SpectrumStudyConfig | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Figure 3(b)/(c): the Hamming spectrum of a BV-8 or QAOA-8 circuit."""
     config = config or SpectrumStudyConfig()
     device = device or ibm_manhattan()
+    engine = engine or ExecutionEngine()
     if benchmark == "bv":
         secret_key = bv_secret_key(num_qubits, "ones")
         circuit = bernstein_vazirani(secret_key)
@@ -159,7 +168,9 @@ def run_hamming_spectrum(
         correct = list(CutCostEvaluator(problem).optimal_cuts())
     else:
         raise ExperimentError(f"unknown benchmark {benchmark!r}; use 'bv' or 'qaoa'")
-    noisy = _sample_circuit(circuit, device, config)
+    noisy = _execute_circuit(
+        circuit, device, config, engine, f"fig3-{benchmark}{num_qubits}"
+    ).noisy
     spectrum = hamming_spectrum(noisy, correct)
     uniform_bin_probability = 1.0 / (2**noisy.num_bits)
     rows = []
@@ -175,18 +186,22 @@ def run_hamming_spectrum(
     report = ExperimentReport(name=f"figure3_hamming_spectrum_{benchmark}{num_qubits}", rows=rows)
     report.summary["correct_probability"] = spectrum.correct_probability()
     report.summary["mass_within_distance_3"] = float(spectrum.bins[: min(4, len(spectrum.bins))].sum())
-    return report
+    return attach_engine_meta(report, engine)
 
 
 def run_ghz_clustering(
     num_qubits: int = 10,
     device: DeviceProfile | None = None,
     config: SpectrumStudyConfig | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Section 3.1: GHZ-10 — correct mass and clustering of dominant errors."""
     config = config or SpectrumStudyConfig(noise_scale=2.0)
     device = device or ibm_paris()
-    noisy = _sample_circuit(ghz_circuit(num_qubits), device, config)
+    engine = engine or ExecutionEngine()
+    noisy = _execute_circuit(
+        ghz_circuit(num_qubits), device, config, engine, f"ghz-{num_qubits}"
+    ).noisy
     correct = ghz_correct_outcomes(num_qubits)
     spectrum = hamming_spectrum(noisy, correct)
     dominant_incorrect = [
@@ -210,13 +225,14 @@ def run_ghz_clustering(
     within_two = sum(r["probability"] for r in rows if r["distance_to_correct"] <= 2)
     total_listed = sum(r["probability"] for r in rows) or 1.0
     report.summary["dominant_errors_within_distance_2"] = float(within_two / total_listed)
-    return report
+    return attach_engine_meta(report, engine)
 
 
 def run_chs_pipeline(
     num_qubits: int = 10,
     device: DeviceProfile | None = None,
     config: SpectrumStudyConfig | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Figure 7: CHS, weights and neighbourhood scores for a BV-10 circuit.
 
@@ -226,8 +242,11 @@ def run_chs_pipeline(
     """
     config = config or SpectrumStudyConfig(transpile_circuits=False)
     device = device or ibm_paris()
+    engine = engine or ExecutionEngine()
     secret_key = bv_secret_key(num_qubits, "ones")
-    noisy = _sample_circuit(bernstein_vazirani(secret_key), device, config)
+    noisy = _execute_circuit(
+        bernstein_vazirani(secret_key), device, config, engine, f"fig7-bv{num_qubits}"
+    ).noisy
     result = neighborhood_scores(noisy, HammerConfig())
     top_incorrect = next(
         outcome for outcome, _ in noisy.ranked_outcomes() if outcome != secret_key
@@ -252,4 +271,4 @@ def run_chs_pipeline(
     report.summary["top_incorrect_score"] = result.scores.get(top_incorrect, 0.0)
     report.summary["hammer_correct_probability"] = result.distribution.probability(secret_key)
     report.summary["hammer_top_incorrect_probability"] = result.distribution.probability(top_incorrect)
-    return report
+    return attach_engine_meta(report, engine)

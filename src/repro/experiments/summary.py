@@ -17,8 +17,9 @@ from repro.core.hammer import HammerConfig, hammer
 from repro.datasets.google_qaoa import GoogleDatasetConfig, generate_google_dataset, small_table1_config
 from repro.datasets.ibm_suite import IbmSuiteConfig, generate_ibm_suite, small_table2_config
 from repro.datasets.records import CircuitRecord
-from repro.experiments.runner import ExperimentReport
+from repro.engine import ExecutionEngine
 from repro.exceptions import ExperimentError
+from repro.experiments.runner import ExperimentReport, attach_engine_meta
 from repro.metrics.fidelity import (
     geometric_mean,
     probability_of_successful_trial,
@@ -67,12 +68,14 @@ def run_headline_summary(
     google_config: GoogleDatasetConfig | None = None,
     records: list[CircuitRecord] | None = None,
     hammer_config: HammerConfig | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> ExperimentReport:
     """Aggregate the average quality-of-solution improvement across all suites."""
+    engine = engine or ExecutionEngine()
     if records is None:
-        records = generate_ibm_suite(ibm_config or small_table2_config()) + generate_google_dataset(
-            google_config or small_table1_config()
-        )
+        records = generate_ibm_suite(
+            ibm_config or small_table2_config(), engine=engine
+        ) + generate_google_dataset(google_config or small_table1_config(), engine=engine)
     if not records:
         raise ExperimentError("no records to summarise")
     rows = [score_quality_improvement(record, hammer_config) for record in records]
@@ -87,4 +90,4 @@ def run_headline_summary(
     for benchmark in sorted({row["benchmark"] for row in rows}):
         subset = [row["improvement"] for row in rows if row["benchmark"] == benchmark]
         report.summary[f"gmean_improvement_{benchmark}"] = geometric_mean(subset)
-    return report
+    return attach_engine_meta(report, engine)

@@ -20,7 +20,14 @@ from repro.exceptions import ExperimentError
 from repro.maxcut.cost import CutCostEvaluator
 from repro.maxcut.graphs import MaxCutProblem
 
-__all__ = ["LandscapePoint", "LandscapeScan", "scan_landscape", "landscape_sharpness"]
+__all__ = [
+    "LandscapePoint",
+    "LandscapeScan",
+    "landscape_circuits",
+    "scan_from_distributions",
+    "scan_landscape",
+    "landscape_sharpness",
+]
 
 #: A function mapping a QAOA circuit to the measurement distribution used for scoring.
 CircuitExecutor = Callable[[object], Distribution]
@@ -54,6 +61,73 @@ class LandscapeScan:
         return float(np.mean(self.cost_ratio_grid))
 
 
+def landscape_circuits(
+    problem: MaxCutProblem,
+    beta_values: np.ndarray | list[float],
+    gamma_values: np.ndarray | list[float],
+    extra_layers: int = 0,
+) -> list[tuple[float, float, object]]:
+    """Enumerate the grid's circuits as ``(beta, gamma, circuit)`` triples.
+
+    Grid order is beta-major (all gammas for the first beta, then the next
+    beta), matching :func:`scan_landscape` and
+    :func:`scan_from_distributions`.  This is the batch-execution face of the
+    scan: build the circuits here, run them through an execution engine, and
+    fold the measured distributions back with :func:`scan_from_distributions`.
+    """
+    betas = np.asarray(list(beta_values), dtype=float)
+    gammas = np.asarray(list(gamma_values), dtype=float)
+    if betas.size == 0 or gammas.size == 0:
+        raise ExperimentError("landscape scan needs non-empty beta and gamma axes")
+    triples: list[tuple[float, float, object]] = []
+    for beta in betas:
+        for gamma in gammas:
+            layer_gammas = [float(gamma)] + [0.5] * extra_layers
+            layer_betas = [float(beta)] + [0.25] * extra_layers
+            parameters = QaoaParameters(gammas=tuple(layer_gammas), betas=tuple(layer_betas))
+            triples.append((float(beta), float(gamma), qaoa_circuit(problem, parameters)))
+    return triples
+
+
+def scan_from_distributions(
+    problem: MaxCutProblem,
+    beta_values: np.ndarray | list[float],
+    gamma_values: np.ndarray | list[float],
+    distributions: list[Distribution],
+) -> LandscapeScan:
+    """Fold pre-measured grid distributions into a :class:`LandscapeScan`.
+
+    ``distributions`` must be in the beta-major order produced by
+    :func:`landscape_circuits`.
+    """
+    betas = np.asarray(list(beta_values), dtype=float)
+    gammas = np.asarray(list(gamma_values), dtype=float)
+    if betas.size == 0 or gammas.size == 0:
+        raise ExperimentError("landscape scan needs non-empty beta and gamma axes")
+    if len(distributions) != betas.size * gammas.size:
+        raise ExperimentError(
+            f"expected {betas.size * gammas.size} grid distributions, got {len(distributions)}"
+        )
+    evaluator = CutCostEvaluator(problem)
+    minimum_cost = evaluator.minimum_cost()
+    grid = np.zeros((betas.size, gammas.size), dtype=float)
+    points: list[LandscapePoint] = []
+    for flat_index, distribution in enumerate(distributions):
+        beta_index, gamma_index = divmod(flat_index, gammas.size)
+        expected = evaluator.expected_cost(distribution)
+        ratio = float(expected / minimum_cost)
+        grid[beta_index, gamma_index] = ratio
+        points.append(
+            LandscapePoint(
+                beta=float(betas[beta_index]),
+                gamma=float(gammas[gamma_index]),
+                expected_cost=float(expected),
+                cost_ratio=ratio,
+            )
+        )
+    return LandscapeScan(betas=betas, gammas=gammas, cost_ratio_grid=grid, points=tuple(points))
+
+
 def scan_landscape(
     problem: MaxCutProblem,
     executor: CircuitExecutor,
@@ -76,33 +150,10 @@ def scan_landscape(
         using fixed mid-range angles (the paper scans p=1 slices of deeper
         circuits).
     """
-    betas = np.asarray(list(beta_values), dtype=float)
-    gammas = np.asarray(list(gamma_values), dtype=float)
-    if betas.size == 0 or gammas.size == 0:
-        raise ExperimentError("landscape scan needs non-empty beta and gamma axes")
-    evaluator = CutCostEvaluator(problem)
-    minimum_cost = evaluator.minimum_cost()
-    grid = np.zeros((betas.size, gammas.size), dtype=float)
-    points: list[LandscapePoint] = []
-    for beta_index, beta in enumerate(betas):
-        for gamma_index, gamma in enumerate(gammas):
-            layer_gammas = [float(gamma)] + [0.5] * extra_layers
-            layer_betas = [float(beta)] + [0.25] * extra_layers
-            parameters = QaoaParameters(gammas=tuple(layer_gammas), betas=tuple(layer_betas))
-            circuit = qaoa_circuit(problem, parameters)
-            distribution = executor(circuit)
-            expected = evaluator.expected_cost(distribution)
-            ratio = float(expected / minimum_cost)
-            grid[beta_index, gamma_index] = ratio
-            points.append(
-                LandscapePoint(
-                    beta=float(beta),
-                    gamma=float(gamma),
-                    expected_cost=float(expected),
-                    cost_ratio=float(ratio),
-                )
-            )
-    return LandscapeScan(betas=betas, gammas=gammas, cost_ratio_grid=grid, points=tuple(points))
+    triples = landscape_circuits(problem, beta_values, gamma_values, extra_layers=extra_layers)
+    return scan_from_distributions(
+        problem, beta_values, gamma_values, [executor(circuit) for _, _, circuit in triples]
+    )
 
 
 def landscape_sharpness(scan: LandscapeScan) -> float:

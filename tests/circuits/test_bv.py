@@ -31,6 +31,18 @@ class TestKeys:
     def test_correct_outcome_is_key(self):
         assert bv_correct_outcome("1011") == "1011"
 
+    def test_random_key_is_seeded_and_nontrivial(self):
+        import numpy as np
+
+        from repro.circuits.bv import random_bv_key
+
+        keys = [random_bv_key(6, np.random.default_rng(11)) for _ in range(3)]
+        assert keys[0] == keys[1] == keys[2]  # deterministic for a fixed seed
+        rng = np.random.default_rng(11)
+        drawn = {random_bv_key(6, rng) for _ in range(50)}
+        assert all(len(key) == 6 and "1" in key for key in drawn)
+        assert len(drawn) > 10  # actually random across the stream
+
     def test_correct_outcome_rejects_bad_string(self):
         with pytest.raises(BitstringError):
             bv_correct_outcome("10a1")

@@ -119,6 +119,29 @@ class TestMeasurement:
         with pytest.raises(CircuitError):
             Statevector(1).sample(0)
 
+    def test_sample_arrives_with_packed_view_cached(self):
+        circuit = QuantumCircuit(3)
+        for qubit in range(3):
+            circuit.h(qubit)
+        sampled = simulate_statevector(circuit).sample(4096, rng=np.random.default_rng(7))
+        assert sampled.has_packed_view()
+        assert sampled.total_weight == pytest.approx(4096)
+
+    def test_sample_support_matches_multinomial_counts(self):
+        # Same rng seed must produce exactly the counts of the multinomial
+        # draw, keyed by MSB-first bitstrings of the support indices.
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.h(1)
+        state = simulate_statevector(circuit)
+        expected_counts = np.random.default_rng(3).multinomial(
+            1000, state.probabilities() / state.probabilities().sum()
+        )
+        sampled = state.sample(1000, rng=np.random.default_rng(3))
+        for index, count in enumerate(expected_counts):
+            outcome = format(index, "02b")
+            assert sampled.counts().get(outcome, 0.0) == pytest.approx(float(count))
+
     def test_apply_circuit_rejects_width_mismatch(self):
         state = Statevector(2)
         with pytest.raises(CircuitError):

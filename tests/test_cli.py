@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.cli import EXPERIMENTS, build_engine, build_parser, main, run_experiment
+from repro.experiments.runner import ExperimentReport
 
 
 class TestParser:
@@ -13,6 +21,32 @@ class TestParser:
         assert args.experiment == "fig8"
         assert args.scale == "small"
         assert args.qubits is None
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.format == "text"
+        assert args.out is None
+
+    def test_engine_options(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        args = build_parser().parse_args(
+            ["fig8", "--jobs", "4", "--cache-dir", str(cache_dir), "--format", "json", "--out", "r.json"]
+        )
+        assert args.jobs == 4
+        assert args.format == "json"
+        assert args.out == "r.json"
+        engine = build_engine(args)
+        assert engine.max_workers == 4
+        assert engine.cache.cache_dir == cache_dir
+
+    def test_rejects_bad_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--format", "yaml"])
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--jobs", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--jobs", "-2"])
 
     def test_options(self):
         args = build_parser().parse_args(["fig9", "--scale", "full", "--qubits", "12", "--family", "grid"])
@@ -61,3 +95,66 @@ class TestExecution:
         assert main(["fig5", "--qubits", "8"]) == 0
         output = capsys.readouterr().out
         assert "figure5_neighbor_costs" in output
+
+    def test_json_format_to_stdout(self, capsys):
+        assert main(["table3", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "table3_operation_counts"
+        assert payload["rows"]
+
+    def test_out_writes_file(self, capsys, tmp_path):
+        target = tmp_path / "nested" / "fig5.json"
+        assert main(["fig5", "--qubits", "8", "--format", "json", "--out", str(target)]) == 0
+        assert "wrote figure5_neighbor_costs" in capsys.readouterr().out
+        report = ExperimentReport.from_json(target.read_text())
+        assert report.name == "figure5_neighbor_costs"
+        assert report.rows
+
+
+class TestExperimentSmoke:
+    """Every registered experiment runs at --scale small and reports sane numbers."""
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_small_scale_run(self, experiment_id):
+        args = build_parser().parse_args([experiment_id])
+        report = run_experiment(experiment_id, args)
+        assert report.rows, f"{experiment_id} produced no rows"
+        assert report.summary, f"{experiment_id} produced no summary"
+        for key, value in report.summary.items():
+            if isinstance(value, (int, float)):
+                assert np.isfinite(value), f"{experiment_id} summary {key!r} is {value}"
+        # Reports must survive the JSON artifact path the CLI exposes.
+        restored = ExperimentReport.from_json(report.to_json())
+        assert restored.name == report.name
+        assert len(restored.rows) == len(report.rows)
+
+    def test_parallel_run_matches_serial(self):
+        args = build_parser().parse_args(["fig1b"])
+        serial = run_experiment("fig1b", args)
+        parallel_args = build_parser().parse_args(["fig1b", "--jobs", "4"])
+        parallel = run_experiment("fig1b", parallel_args)
+        assert serial.rows == parallel.rows
+
+
+class TestSubprocessJsonArtifact:
+    def test_format_json_out(self, tmp_path):
+        target = tmp_path / "fig1a.json"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "fig1a", "--qubits", "4",
+                "--format", "json", "--out", str(target),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "wrote figure1a_bv_histogram (json)" in completed.stdout
+        payload = json.loads(target.read_text())
+        assert payload["name"] == "figure1a_bv_histogram"
+        assert payload["rows"] and payload["summary"]
+        assert payload["meta"]["engine"]["num_jobs"] == 1
