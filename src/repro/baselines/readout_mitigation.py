@@ -53,6 +53,32 @@ class ReadoutCalibration:
         matrix = readout_error.confusion_matrix()
         return cls(confusion_matrices=tuple(matrix.copy() for _ in range(num_qubits)))
 
+    @classmethod
+    def from_flip_probabilities(cls, p10, p01) -> "ReadoutCalibration":
+        """Build a calibration from per-qubit flip-probability arrays."""
+        p10 = np.asarray(p10, dtype=float)
+        p01 = np.asarray(p01, dtype=float)
+        if p10.shape != p01.shape or p10.ndim != 1:
+            raise NoiseModelError("p10 and p01 must be 1-D arrays of equal length")
+        return cls(
+            confusion_matrices=tuple(
+                np.array([[1.0 - a, b], [a, 1.0 - b]]) for a, b in zip(p10, p01)
+            )
+        )
+
+    @classmethod
+    def from_noise_model(cls, noise_model, num_qubits: int) -> "ReadoutCalibration":
+        """Per-qubit calibration from a noise model (heterogeneous when calibrated).
+
+        Uses :meth:`NoiseModel.readout_flip_probabilities
+        <repro.quantum.noise.NoiseModel.readout_flip_probabilities>`, so a
+        model carrying a :class:`~repro.calibration.snapshot.CalibrationSnapshot`
+        yields one distinct confusion matrix per qubit while a uniform model
+        reproduces :meth:`from_readout_error` exactly.
+        """
+        p10, p01 = noise_model.readout_flip_probabilities(num_qubits)
+        return cls.from_flip_probabilities(p10, p01)
+
     def inverse_matrices(self) -> list[np.ndarray]:
         """Per-qubit inverses of the confusion matrices."""
         inverses = []

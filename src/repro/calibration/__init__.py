@@ -1,0 +1,49 @@
+"""Calibration subsystem: per-qubit/per-edge noise and the device scenario zoo.
+
+Three layers:
+
+* :class:`CalibrationSnapshot` — an immutable, JSON-round-trippable record of
+  per-qubit readout flips, per-qubit gate/idle errors and per-edge two-qubit
+  errors, with a deterministic :meth:`~CalibrationSnapshot.drifted` transform.
+* :func:`synthetic_snapshot` / :func:`uniform_snapshot` — seeded generators
+  spreading rates lognormally around a device's medians, deterministic per
+  ``(device, seed)``.
+* :class:`Scenario` and its registry — named ``topology x calibration x
+  shots`` combinations that studies sweep across (see
+  ``python -m repro.cli scenarios``).
+
+Attach a snapshot to a noise model with
+:meth:`NoiseModel.with_calibration <repro.quantum.noise.NoiseModel.with_calibration>`;
+every consumer (bit-flip sampler, readout mitigation, HAMMER's noise-aware
+weights, engine cache keys) then reads the heterogeneous rates.
+"""
+
+from repro.calibration.generators import (
+    snapshot_noise_model,
+    stable_device_entropy,
+    synthetic_snapshot,
+    uniform_snapshot,
+)
+from repro.calibration.scenario import (
+    Scenario,
+    all_scenarios,
+    available_scenarios,
+    get_scenario,
+    scenario_device,
+    scenario_rows,
+)
+from repro.calibration.snapshot import CalibrationSnapshot
+
+__all__ = [
+    "CalibrationSnapshot",
+    "Scenario",
+    "all_scenarios",
+    "available_scenarios",
+    "get_scenario",
+    "scenario_device",
+    "scenario_rows",
+    "snapshot_noise_model",
+    "stable_device_entropy",
+    "synthetic_snapshot",
+    "uniform_snapshot",
+]

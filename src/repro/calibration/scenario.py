@@ -1,0 +1,281 @@
+"""The device scenario zoo: ``Scenario = topology x calibration x shots``.
+
+A :class:`Scenario` names one fully-specified simulated machine state: a
+coupling topology, a calibration snapshot (spread around the topology's
+reference medians, optionally drifted in time) and a shot budget.  The
+registry spans every coupling family in :mod:`repro.quantum.coupling` at
+several noise spreads and drift points, so cross-scenario studies (the
+``scenario-sweep`` experiment) exercise HAMMER on machines that differ the
+way the paper's real IBM/Google machines differ — per qubit and per coupler,
+not just per topology.
+
+Scenarios are cheap descriptions; :meth:`Scenario.device` builds the
+concrete :class:`~repro.quantum.device.DeviceProfile` (with the calibration
+attached to its noise model) on demand, deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.calibration.generators import synthetic_snapshot
+from repro.calibration.snapshot import CalibrationSnapshot
+from repro.exceptions import DeviceError
+from repro.quantum.coupling import (
+    CouplingMap,
+    grid_coupling,
+    heavy_hex_like_coupling,
+    linear_coupling,
+    ring_coupling,
+    sycamore_like_coupling,
+)
+from repro.quantum.device import DeviceProfile
+from repro.quantum.noise import NoiseModel, ReadoutError
+
+__all__ = [
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
+    "all_scenarios",
+    "scenario_device",
+    "scenario_rows",
+]
+
+#: Reference medians per topology family (loosely: IBM-like for the sparse
+#: topologies, Sycamore-like for the grids).  Scenario calibrations spread
+#: around these.
+_FAMILY_MEDIANS: dict[str, NoiseModel] = {
+    "linear": NoiseModel(
+        single_qubit_error=0.0008,
+        two_qubit_error=0.014,
+        readout_error=ReadoutError(prob_1_given_0=0.015, prob_0_given_1=0.032),
+        idle_error_per_layer=0.0006,
+        crosstalk_error=0.0005,
+    ),
+    "ring": NoiseModel(
+        single_qubit_error=0.0008,
+        two_qubit_error=0.013,
+        readout_error=ReadoutError(prob_1_given_0=0.014, prob_0_given_1=0.03),
+        idle_error_per_layer=0.0006,
+        crosstalk_error=0.0005,
+    ),
+    "grid": NoiseModel(
+        single_qubit_error=0.0012,
+        two_qubit_error=0.01,
+        readout_error=ReadoutError(prob_1_given_0=0.02, prob_0_given_1=0.045),
+        idle_error_per_layer=0.0006,
+        crosstalk_error=0.0005,
+    ),
+    "heavy-hex": NoiseModel(
+        single_qubit_error=0.0007,
+        two_qubit_error=0.015,
+        readout_error=ReadoutError(prob_1_given_0=0.016, prob_0_given_1=0.034),
+        idle_error_per_layer=0.0007,
+        crosstalk_error=0.0007,
+    ),
+    "sycamore": NoiseModel(
+        single_qubit_error=0.0011,
+        two_qubit_error=0.011,
+        readout_error=ReadoutError(prob_1_given_0=0.019, prob_0_given_1=0.048),
+        idle_error_per_layer=0.0006,
+        crosstalk_error=0.0005,
+    ),
+}
+
+_BASIS_BY_TOPOLOGY: dict[str, tuple[str, ...]] = {
+    "linear": ("rz", "sx", "x", "cx"),
+    "ring": ("rz", "sx", "x", "cx"),
+    "grid": ("rz", "sx", "x", "cz"),
+    "heavy-hex": ("rz", "sx", "x", "cx"),
+    "sycamore": ("rz", "sx", "x", "cz"),
+}
+
+
+def _coupling_for(topology: str, num_qubits: int) -> CouplingMap:
+    if topology == "linear":
+        return linear_coupling(num_qubits)
+    if topology == "ring":
+        return ring_coupling(num_qubits)
+    if topology == "grid":
+        rows = 3
+        if num_qubits % rows != 0:
+            raise DeviceError(f"grid scenarios use 3 rows; {num_qubits} qubits do not fit")
+        return grid_coupling(rows, num_qubits // rows)
+    if topology == "heavy-hex":
+        return heavy_hex_like_coupling(num_qubits)
+    if topology == "sycamore":
+        return sycamore_like_coupling(num_qubits)
+    raise DeviceError(f"unknown scenario topology {topology!r}; available: {sorted(_FAMILY_MEDIANS)}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named device scenario: topology x calibration x shots.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"heavy-hex-12-drifted"``).
+    topology:
+        Coupling family: ``linear``/``ring``/``grid``/``heavy-hex``/``sycamore``.
+    num_qubits:
+        Device size (circuits may be narrower; the engine validates width).
+    spread:
+        Lognormal sigma of the calibration spread (0 = uniform machine).
+    drift_time:
+        Calibration age: the snapshot is drifted this far from its
+        generation point (0 = freshly calibrated).
+    shots:
+        Default trials per circuit for studies run on this scenario.
+    calibration_seed:
+        Seed of the synthetic calibration (per-scenario, so two scenarios
+        with the same topology get different bad qubits).
+    description:
+        One-line human description for the CLI listing.
+    """
+
+    name: str
+    topology: str
+    num_qubits: int
+    spread: float
+    drift_time: float = 0.0
+    shots: int = 8192
+    calibration_seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.topology not in _FAMILY_MEDIANS:
+            raise DeviceError(
+                f"unknown scenario topology {self.topology!r}; available: {sorted(_FAMILY_MEDIANS)}"
+            )
+        if self.num_qubits < 2:
+            raise DeviceError(f"scenario {self.name!r}: num_qubits must be >= 2")
+        if self.spread < 0 or self.drift_time < 0:
+            raise DeviceError(f"scenario {self.name!r}: spread and drift_time must be >= 0")
+        if self.shots <= 0:
+            raise DeviceError(f"scenario {self.name!r}: shots must be positive")
+
+    @property
+    def medians(self) -> NoiseModel:
+        """Uniform reference noise model of the scenario's topology family."""
+        return _FAMILY_MEDIANS[self.topology]
+
+    def snapshot(self) -> CalibrationSnapshot:
+        """The scenario's calibration snapshot (spread + drift applied)."""
+        profile = self._uncalibrated_device()
+        snapshot = synthetic_snapshot(
+            profile, seed=self.calibration_seed, spread=self.spread, noise_model=self.medians
+        )
+        if self.drift_time > 0:
+            snapshot = snapshot.drifted(self.drift_time)
+        return snapshot
+
+    def _uncalibrated_device(self) -> DeviceProfile:
+        return DeviceProfile(
+            name=f"scenario-{self.name}",
+            num_qubits=self.num_qubits,
+            coupling_map=_coupling_for(self.topology, self.num_qubits),
+            noise_model=self.medians,
+            basis_gates=_BASIS_BY_TOPOLOGY[self.topology],
+        )
+
+    def device(self) -> DeviceProfile:
+        """Build the concrete device profile, calibration attached.
+
+        A ``spread == 0``, ``drift_time == 0`` scenario keeps the plain
+        uniform noise model (the zero-copy fast path); anything else carries
+        the per-qubit/per-edge snapshot.
+        """
+        profile = self._uncalibrated_device()
+        if self.spread == 0 and self.drift_time == 0:
+            return profile
+        return DeviceProfile(
+            name=profile.name,
+            num_qubits=profile.num_qubits,
+            coupling_map=profile.coupling_map,
+            noise_model=profile.noise_model.with_calibration(self.snapshot()),
+            basis_gates=profile.basis_gates,
+        )
+
+    def as_row(self) -> dict[str, object]:
+        """Flat row for the ``scenarios`` CLI table."""
+        return {
+            "name": self.name,
+            "topology": self.topology,
+            "num_qubits": self.num_qubits,
+            "spread": self.spread,
+            "drift_time": self.drift_time,
+            "shots": self.shots,
+            "description": self.description,
+        }
+
+
+def _build_registry() -> dict[str, Scenario]:
+    scenarios = [
+        Scenario("linear-12-uniform", "linear", 12, spread=0.0, shots=8192,
+                 calibration_seed=101, description="1-D chain, uniform reference calibration"),
+        Scenario("linear-12-spread", "linear", 12, spread=0.3, shots=8192,
+                 calibration_seed=102, description="1-D chain, mild per-qubit spread"),
+        Scenario("linear-12-hotspot", "linear", 12, spread=0.6, shots=8192,
+                 calibration_seed=103, description="1-D chain, heavy spread (bad-qubit hotspots)"),
+        Scenario("ring-12-spread", "ring", 12, spread=0.3, shots=8192,
+                 calibration_seed=201, description="ring, mild spread"),
+        Scenario("ring-12-drifted", "ring", 12, spread=0.3, drift_time=4.0, shots=8192,
+                 calibration_seed=202, description="ring, mild spread drifted 4 time units"),
+        Scenario("grid-3x4-uniform", "grid", 12, spread=0.0, shots=8192,
+                 calibration_seed=301, description="3x4 grid, uniform reference calibration"),
+        Scenario("grid-3x4-spread", "grid", 12, spread=0.35, shots=8192,
+                 calibration_seed=302, description="3x4 grid, mild spread"),
+        Scenario("grid-3x5-drifted", "grid", 15, spread=0.35, drift_time=8.0, shots=8192,
+                 calibration_seed=303, description="3x5 grid, spread calibration drifted 8 units"),
+        Scenario("heavy-hex-12-spread", "heavy-hex", 12, spread=0.3, shots=8192,
+                 calibration_seed=401, description="IBM-style heavy-hex, mild spread"),
+        Scenario("heavy-hex-15-hotspot", "heavy-hex", 15, spread=0.6, shots=8192,
+                 calibration_seed=402, description="heavy-hex, heavy spread (bad couplers)"),
+        Scenario("heavy-hex-12-drifted", "heavy-hex", 12, spread=0.3, drift_time=6.0, shots=8192,
+                 calibration_seed=403, description="heavy-hex, mild spread drifted 6 units"),
+        Scenario("sycamore-12-spread", "sycamore", 12, spread=0.35, shots=8192,
+                 calibration_seed=501, description="Sycamore-like grid, mild spread"),
+        Scenario("sycamore-16-hotspot", "sycamore", 16, spread=0.6, shots=8192,
+                 calibration_seed=502, description="Sycamore-like grid, heavy spread"),
+        Scenario("sycamore-12-drifted", "sycamore", 12, spread=0.35, drift_time=12.0, shots=8192,
+                 calibration_seed=503, description="Sycamore-like grid, spread drifted 12 units"),
+    ]
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+_REGISTRY: dict[str, Scenario] = _build_registry()
+
+
+def available_scenarios() -> list[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> list[Scenario]:
+    """Every registered scenario, sorted by name."""
+    return [_REGISTRY[name] for name in available_scenarios()]
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by registry name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise DeviceError(f"unknown scenario {name!r}; available: {available_scenarios()}")
+    return _REGISTRY[key]
+
+
+@lru_cache(maxsize=None)
+def _cached_device(name: str) -> DeviceProfile:
+    return _REGISTRY[name].device()
+
+
+def scenario_device(name: str) -> DeviceProfile:
+    """Scenario device with memoisation (snapshot generation is pure)."""
+    return _cached_device(get_scenario(name).name)
+
+
+def scenario_rows() -> list[dict[str, object]]:
+    """The zoo as flat rows for the ``scenarios`` CLI subcommand."""
+    return [scenario.as_row() for scenario in all_scenarios()]

@@ -8,6 +8,9 @@ Usage::
     python -m repro.cli headline --scale small
     python -m repro.cli fig8 --jobs 4 --cache-dir .hammer-cache
     python -m repro.cli fig8 --format json --out fig8.json
+    python -m repro.cli devices         # built-in device profiles
+    python -m repro.cli scenarios       # the calibration scenario zoo
+    python -m repro.cli scenario-sweep --jobs 4 --format json
 
 Every experiment runs its sweep through one shared
 :class:`~repro.engine.engine.ExecutionEngine`: ``--jobs`` fans the batch out
@@ -24,6 +27,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.calibration import scenario_rows
 from repro.datasets.google_qaoa import full_table1_config, generate_google_dataset, small_table1_config, table1_summaries
 from repro.datasets.ibm_suite import full_table2_config, generate_ibm_suite, small_table2_config, table2_summaries
 from repro.engine import ExecutionEngine
@@ -53,10 +57,21 @@ from repro.experiments import (
     run_operation_count_table,
     run_quality_distribution_example,
     run_runtime_scaling,
+    run_scenario_study,
 )
+from repro.experiments.scenario_study import ScenarioStudyConfig
 from repro.experiments.runner import ExperimentReport, attach_engine_meta
 
-__all__ = ["main", "build_parser", "build_engine", "run_experiment", "EXPERIMENTS"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_engine",
+    "run_experiment",
+    "devices_report",
+    "scenarios_report",
+    "EXPERIMENTS",
+    "SUBCOMMANDS",
+]
 
 
 def _fig1a(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
@@ -173,6 +188,14 @@ def _headline(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentRe
     return run_headline_summary(ibm_config=ibm, google_config=google, engine=engine)
 
 
+def _scenario_sweep(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
+    config = ScenarioStudyConfig(
+        num_qubits=args.qubits or 8,
+        keys_per_scenario=3 if args.scale == "full" else 2,
+    )
+    return run_scenario_study(config, engine=engine)
+
+
 #: Registry of experiment id -> (description, runner).
 EXPERIMENTS = {
     "fig1a": ("Figure 1(a): BV-4 noisy histogram", _fig1a),
@@ -196,6 +219,7 @@ EXPERIMENTS = {
     "table3-runtime": ("Table 3 (measured): runtime scaling", _table3_runtime),
     "sec64": ("Section 6.4: IBM QAOA TVD/CR improvement", _sec64),
     "headline": ("Headline: average quality improvement across suites", _headline),
+    "scenario-sweep": ("Calibration zoo: HAMMER vs baselines across all scenarios", _scenario_sweep),
 }
 
 
@@ -251,15 +275,61 @@ def _render(report: ExperimentReport, args: argparse.Namespace) -> str:
     return report.to_json() if args.format == "json" else report.to_text()
 
 
+def devices_report() -> ExperimentReport:
+    """The built-in device profiles as a report (``devices`` subcommand)."""
+    from repro.quantum.device import available_devices, get_device
+
+    rows = []
+    for name in available_devices():
+        device = get_device(name)
+        model = device.noise_model
+        rows.append(
+            {
+                "name": device.name,
+                "qubits": device.num_qubits,
+                "topology": device.coupling_map.name,
+                "edges": len(device.coupling_map.edges()),
+                "basis": "/".join(device.basis_gates),
+                "1q_error": model.single_qubit_error,
+                "2q_error": model.two_qubit_error,
+                "readout_p10": model.readout_error.prob_1_given_0,
+                "readout_p01": model.readout_error.prob_0_given_1,
+            }
+        )
+    report = ExperimentReport(name="devices", rows=rows)
+    report.summary["num_devices"] = float(len(rows))
+    return report
+
+
+def scenarios_report() -> ExperimentReport:
+    """The calibration scenario zoo as a report (``scenarios`` subcommand)."""
+    rows = scenario_rows()
+    report = ExperimentReport(name="scenarios", rows=rows)
+    report.summary["num_scenarios"] = float(len(rows))
+    return report
+
+
+#: Informational subcommands: no engine, no sweep — just a registry table.
+SUBCOMMANDS = {
+    "devices": ("Built-in device profiles (uniform noise medians)", devices_report),
+    "scenarios": ("Calibration scenario zoo (topology x calibration x shots)", scenarios_report),
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "list":
         rows = [{"id": key, "description": description} for key, (description, _) in EXPERIMENTS.items()]
+        rows += [{"id": key, "description": description} for key, (description, _) in SUBCOMMANDS.items()]
         print(format_table(rows))
         return 0
-    report = run_experiment(args.experiment, args)
+    if args.experiment in SUBCOMMANDS:
+        _, builder = SUBCOMMANDS[args.experiment]
+        report = builder()
+    else:
+        report = run_experiment(args.experiment, args)
     rendered = _render(report, args)
     if args.out is not None:
         path = Path(args.out)

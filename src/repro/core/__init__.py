@@ -52,6 +52,7 @@ from repro.core.weights import (
     ExponentialDecayWeights,
     InverseChsWeights,
     NearestNeighborWeights,
+    NoiseAwareWeights,
     UniformWeights,
     WeightScheme,
     resolve_weight_scheme,
@@ -92,6 +93,7 @@ __all__ = [
     "ExponentialDecayWeights",
     "InverseChsWeights",
     "NearestNeighborWeights",
+    "NoiseAwareWeights",
     "UniformWeights",
     "WeightScheme",
     "resolve_weight_scheme",

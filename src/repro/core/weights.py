@@ -22,6 +22,7 @@ __all__ = [
     "UniformWeights",
     "ExponentialDecayWeights",
     "NearestNeighborWeights",
+    "NoiseAwareWeights",
     "resolve_weight_scheme",
 ]
 
@@ -124,11 +125,73 @@ class NearestNeighborWeights(WeightScheme):
         return weights
 
 
+class NoiseAwareWeights(WeightScheme):
+    """Calibration-aware weights: invert the *analytic* Hamming spectrum.
+
+    The paper derives weights from the measured average CHS.  When the
+    device's per-qubit bit-flip probabilities are known (via
+    :meth:`NoiseModel.accumulated_bitflip_probabilities
+    <repro.quantum.noise.NoiseModel.accumulated_bitflip_probabilities>`,
+    which consumes a per-qubit/per-edge calibration when one is attached),
+    the expected distance-from-correct mass is available in closed form: the
+    number of flipped bits follows a Poisson-binomial distribution over the
+    per-qubit flip probabilities.  This scheme sets ``W[d] = 1 / pmf[d]`` —
+    the same inversion principle as :class:`InverseChsWeights`, but against
+    the noise model's prediction instead of the (shot-noisy) empirical
+    spectrum, and sensitive to *which* qubits are bad, not just how many.
+
+    Constructed without flip probabilities (e.g. resolved from the registry
+    by name) it falls back to the paper's inverse-CHS behaviour.
+    """
+
+    name = "noise_aware"
+
+    def __init__(self, flip_probabilities=None) -> None:
+        if flip_probabilities is None:
+            self.flip_probabilities: tuple[float, ...] | None = None
+            return
+        array = np.asarray(flip_probabilities, dtype=float)
+        if array.ndim != 1 or array.size == 0:
+            raise DistributionError("flip_probabilities must be a non-empty 1-D array")
+        if not np.all((array >= 0.0) & (array <= 1.0)):
+            raise DistributionError("flip probabilities must lie in [0, 1]")
+        # Stored as a tuple so the base class's __eq__/__hash__ keep working.
+        self.flip_probabilities = tuple(float(p) for p in array)
+
+    @classmethod
+    def from_noise_model(cls, noise_model, circuit) -> "NoiseAwareWeights":
+        """Build from a noise model's accumulated per-qubit flip probabilities."""
+        return cls(noise_model.accumulated_bitflip_probabilities(circuit))
+
+    @staticmethod
+    def flip_distance_pmf(flip_probabilities) -> np.ndarray:
+        """Poisson-binomial pmf of the number of flipped bits (length n+1)."""
+        probabilities = np.asarray(flip_probabilities, dtype=float)
+        pmf = np.zeros(probabilities.size + 1, dtype=float)
+        pmf[0] = 1.0
+        for p in probabilities:
+            pmf[1:] = pmf[1:] * (1.0 - p) + pmf[:-1] * p
+            pmf[0] *= 1.0 - p
+        return pmf
+
+    def compute(self, average_chs: np.ndarray, num_bits: int, cutoff: int) -> np.ndarray:
+        if self.flip_probabilities is None:
+            return InverseChsWeights().compute(average_chs, num_bits, cutoff)
+        pmf = self.flip_distance_pmf(self.flip_probabilities)
+        weights = np.zeros_like(average_chs, dtype=float)
+        limit = min(cutoff, len(average_chs))
+        for distance in range(limit):
+            if distance < len(pmf) and pmf[distance] > 1e-12:
+                weights[distance] = 1.0 / pmf[distance]
+        return weights
+
+
 _SCHEMES: dict[str, type[WeightScheme]] = {
     InverseChsWeights.name: InverseChsWeights,
     UniformWeights.name: UniformWeights,
     ExponentialDecayWeights.name: ExponentialDecayWeights,
     NearestNeighborWeights.name: NearestNeighborWeights,
+    NoiseAwareWeights.name: NoiseAwareWeights,
 }
 
 

@@ -2,6 +2,7 @@
 
 from repro.datasets.google_qaoa import (
     GoogleDatasetConfig,
+    calibrated_table1_config,
     full_table1_config,
     generate_google_dataset,
     small_table1_config,
@@ -9,6 +10,7 @@ from repro.datasets.google_qaoa import (
 )
 from repro.datasets.ibm_suite import (
     IbmSuiteConfig,
+    calibrated_table2_config,
     default_ibm_devices,
     full_table2_config,
     generate_bv_records,
@@ -21,11 +23,13 @@ from repro.datasets.records import CircuitRecord, DatasetSummary
 
 __all__ = [
     "GoogleDatasetConfig",
+    "calibrated_table1_config",
     "full_table1_config",
     "generate_google_dataset",
     "small_table1_config",
     "table1_summaries",
     "IbmSuiteConfig",
+    "calibrated_table2_config",
     "default_ibm_devices",
     "full_table2_config",
     "generate_bv_records",

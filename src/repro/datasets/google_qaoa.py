@@ -14,7 +14,7 @@ paper's baseline, and HAMMER runs on top of it exactly as in Section 6.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -35,6 +35,7 @@ __all__ = [
     "GoogleDatasetConfig",
     "full_table1_config",
     "small_table1_config",
+    "calibrated_table1_config",
     "generate_google_dataset",
     "table1_summaries",
 ]
@@ -61,6 +62,15 @@ class GoogleDatasetConfig:
         Multiplier on the Sycamore noise model.
     transpile_circuits:
         Route + decompose onto the Sycamore grid before sampling.
+    calibration_spread:
+        Lognormal sigma of the per-qubit/per-edge calibration spread.  0
+        (the default) keeps the historical uniform Sycamore model —
+        bit-identical to earlier releases; >0 attaches a deterministic
+        per-machine :class:`~repro.calibration.snapshot.CalibrationSnapshot`
+        (the readout correction then uses the matching per-qubit confusion
+        matrices, as Google's pipeline does).
+    calibration_seed:
+        Seed of the synthetic snapshot; ``None`` reuses ``seed``.
     seed:
         Master RNG seed.
     """
@@ -74,6 +84,8 @@ class GoogleDatasetConfig:
     shots: int = 25000
     noise_scale: float = 1.0
     transpile_circuits: bool = False
+    calibration_spread: float = 0.0
+    calibration_seed: int | None = None
     seed: int = 53
 
     def __post_init__(self) -> None:
@@ -83,11 +95,18 @@ class GoogleDatasetConfig:
             raise DatasetError(f"invalid 3-regular qubit range {self.regular_qubit_range}")
         if self.shots <= 0:
             raise DatasetError("shots must be positive")
+        if self.calibration_spread < 0:
+            raise DatasetError("calibration_spread must be >= 0")
 
 
 def full_table1_config() -> GoogleDatasetConfig:
     """The paper-scale Table 1 composition."""
     return GoogleDatasetConfig()
+
+
+def calibrated_table1_config(spread: float = 0.3) -> GoogleDatasetConfig:
+    """The laptop-scale dataset with a per-machine calibration snapshot."""
+    return replace(small_table1_config(), calibration_spread=spread)
 
 
 def small_table1_config() -> GoogleDatasetConfig:
@@ -142,7 +161,12 @@ def generate_google_dataset(
     device = device or google_sycamore()
     engine = engine or ExecutionEngine()
     rng = np.random.default_rng(config.seed)
-    noise_model = device.noise_model.scaled(config.noise_scale)
+    from repro.calibration.generators import snapshot_noise_model
+
+    base_model = snapshot_noise_model(
+        device, config.calibration_spread, config.calibration_seed, config.seed
+    )
+    noise_model = base_model.scaled(config.noise_scale)
 
     plan: list[tuple[str, int, int]] = []
     for size in _grid_sizes(config.grid_qubit_range):
@@ -171,6 +195,7 @@ def generate_google_dataset(
                     noise_model=noise_model,
                     coupling_map=device.coupling_map if config.transpile_circuits else None,
                     basis_gates=device.basis_gates if config.transpile_circuits else None,
+                    device=device,
                     metadata={"family": family, "num_layers": layers},
                 )
             )
@@ -178,8 +203,13 @@ def generate_google_dataset(
     records: list[CircuitRecord] = []
     for result in engine.run(jobs, seed=config.seed):
         problem = problems[result.job_id]
-        calibration = ReadoutCalibration.from_readout_error(
-            device.noise_model.readout_error, problem.num_nodes
+        # Per-qubit confusion matrices: identical to the historical uniform
+        # matrices when no calibration is attached, heterogeneous otherwise.
+        # The histogram is in logical order while calibration rates are per
+        # physical qubit, so gather them through the routing permutation.
+        p10, p01 = base_model.readout_flip_probabilities(problem.num_nodes)
+        calibration = ReadoutCalibration.from_flip_probabilities(
+            result.to_logical_order(p10), result.to_logical_order(p01)
         )
         corrected = mitigate_readout(result.noisy, calibration)
         records.append(

@@ -20,7 +20,7 @@ available through :func:`full_table2_config`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -36,6 +36,7 @@ __all__ = [
     "IbmSuiteConfig",
     "full_table2_config",
     "small_table2_config",
+    "calibrated_table2_config",
     "generate_bv_records",
     "generate_qaoa_records",
     "generate_ibm_suite",
@@ -67,6 +68,14 @@ class IbmSuiteConfig:
     transpile_circuits:
         Route + decompose onto the device before sampling (slower, more
         faithful gate counts).
+    calibration_spread:
+        Lognormal sigma of the per-qubit/per-edge calibration spread.  0
+        (the default) runs the historical uniform noise models —
+        bit-identical to earlier releases; >0 attaches one deterministic
+        :class:`~repro.calibration.snapshot.CalibrationSnapshot` per machine,
+        the way the paper's three IBM devices differ qubit-by-qubit.
+    calibration_seed:
+        Seed of the synthetic snapshots; ``None`` reuses ``seed``.
     seed:
         Master RNG seed.
     """
@@ -79,6 +88,8 @@ class IbmSuiteConfig:
     shots: int = 8192
     noise_scale: float = 1.0
     transpile_circuits: bool = False
+    calibration_spread: float = 0.0
+    calibration_seed: int | None = None
     seed: int = 2022
 
     def __post_init__(self) -> None:
@@ -88,6 +99,8 @@ class IbmSuiteConfig:
             raise DatasetError(f"invalid QAOA qubit range {self.qaoa_qubit_range}")
         if self.shots <= 0:
             raise DatasetError("shots must be positive")
+        if self.calibration_spread < 0:
+            raise DatasetError("calibration_spread must be >= 0")
 
 
 def full_table2_config() -> IbmSuiteConfig:
@@ -119,6 +132,20 @@ def default_ibm_devices() -> list[DeviceProfile]:
     return [ibm_paris(), ibm_manhattan(), ibm_toronto()]
 
 
+def calibrated_table2_config(spread: float = 0.3) -> IbmSuiteConfig:
+    """The laptop-scale suite with per-machine calibration snapshots attached."""
+    return replace(small_table2_config(), calibration_spread=spread)
+
+
+def _device_noise_model(device: DeviceProfile, config: IbmSuiteConfig):
+    """The per-machine noise model: scaled, with a snapshot when requested."""
+    from repro.calibration.generators import snapshot_noise_model
+
+    return snapshot_noise_model(
+        device, config.calibration_spread, config.calibration_seed, config.seed
+    ).scaled(config.noise_scale)
+
+
 def _device_target(device: DeviceProfile, config: IbmSuiteConfig) -> dict:
     """Transpilation target for a job (empty when the suite runs logical circuits)."""
     if not config.transpile_circuits:
@@ -139,7 +166,7 @@ def generate_bv_records(
     jobs: list[CircuitJob] = []
     low, high = config.bv_qubit_range
     for device in devices:
-        noise_model = device.noise_model.scaled(config.noise_scale)
+        noise_model = _device_noise_model(device, config)
         for num_qubits in range(low, high + 1):
             for key_index in range(config.bv_keys_per_size):
                 secret_key = random_bv_key(num_qubits, rng)
@@ -149,6 +176,7 @@ def generate_bv_records(
                         circuit=bernstein_vazirani(secret_key),
                         shots=config.shots,
                         noise_model=noise_model,
+                        device=device,
                         metadata={
                             "device": device.name,
                             "num_qubits": num_qubits,
@@ -202,7 +230,7 @@ def generate_qaoa_records(
     problems: dict[str, MaxCutProblem] = {}
     low, high = config.qaoa_qubit_range
     for device in devices:
-        noise_model = device.noise_model.scaled(config.noise_scale)
+        noise_model = _device_noise_model(device, config)
         for family in families:
             for num_qubits in range(low, high + 1):
                 for instance_index in range(config.qaoa_instances_per_size):
@@ -222,6 +250,7 @@ def generate_qaoa_records(
                                 circuit=qaoa_circuit(problem, default_qaoa_parameters(num_layers)),
                                 shots=config.shots,
                                 noise_model=noise_model,
+                                device=device,
                                 metadata={
                                     "device": device.name,
                                     "family": family,

@@ -10,7 +10,14 @@ worker count.
 
 from repro.engine.cache import ExecutionCache
 from repro.engine.engine import EngineRunStats, ExecutionEngine
-from repro.engine.hashing import circuit_fingerprint, coupling_fingerprint, ideal_key, transpile_key
+from repro.engine.hashing import (
+    circuit_fingerprint,
+    coupling_fingerprint,
+    ideal_key,
+    noise_fingerprint,
+    sample_key,
+    transpile_key,
+)
 from repro.engine.jobs import CircuitJob, JobResult
 
 __all__ = [
@@ -22,5 +29,7 @@ __all__ = [
     "circuit_fingerprint",
     "coupling_fingerprint",
     "ideal_key",
+    "noise_fingerprint",
+    "sample_key",
     "transpile_key",
 ]

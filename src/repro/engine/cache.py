@@ -9,6 +9,12 @@ Two namespaces are used by :class:`~repro.engine.engine.ExecutionEngine`:
 ``"ideal"``
     Key: :func:`~repro.engine.hashing.ideal_key` of the *executed* circuit.
     Value: the noise-free measurement :class:`Distribution`.
+``"sample"``
+    Key: :func:`~repro.engine.hashing.sample_key` (executed circuit + noise
+    fingerprint — including any calibration snapshot — + shots + method +
+    per-job seed entropy).  Value: the noisy measurement
+    :class:`Distribution`.  Because the key pins the RNG entropy, a hit
+    returns exactly the histogram an uncached run would draw.
 
 Entries always live in an in-process dict; when a ``cache_dir`` is given they
 are additionally persisted as pickle files (``<dir>/<namespace>/<key>.pkl``,
@@ -31,7 +37,7 @@ from repro.exceptions import EngineError
 
 __all__ = ["ExecutionCache"]
 
-_NAMESPACES = ("transpile", "ideal")
+_NAMESPACES = ("transpile", "ideal", "sample")
 
 
 class ExecutionCache:

@@ -10,6 +10,11 @@ three phases, deduplicating shared work through the content-addressed
    *executed* circuit is computed once (this is the statevector simulation,
    the dominant cost of every paper sweep).
 3. **Sampling** — every job draws its noisy histogram with its own RNG.
+   Histograms are cached under a key that includes the noise model's
+   fingerprint (with any calibration snapshot) *and* the job's seed
+   entropy, so re-running a sweep with the same seed skips the sampling
+   too, while heterogeneous (calibrated) runs never collide with uniform
+   ones.
 
 Determinism
 -----------
@@ -40,7 +45,7 @@ import numpy as np
 
 from repro.core.distribution import Distribution
 from repro.engine.cache import ExecutionCache
-from repro.engine.hashing import ideal_key, transpile_key
+from repro.engine.hashing import ideal_key, sample_key, transpile_key
 from repro.engine.jobs import CircuitJob, JobResult
 from repro.exceptions import EngineError
 from repro.quantum.circuit import QuantumCircuit
@@ -69,6 +74,7 @@ class EngineRunStats:
     transpiled_jobs: int = 0
     transpile_cache_hits: int = 0
     ideal_cache_hits: int = 0
+    sample_cache_hits: int = 0
     unique_transpiles_computed: int = 0
     unique_ideals_computed: int = 0
     prepare_seconds: float = 0.0
@@ -81,6 +87,7 @@ class EngineRunStats:
         self.transpiled_jobs += other.transpiled_jobs
         self.transpile_cache_hits += other.transpile_cache_hits
         self.ideal_cache_hits += other.ideal_cache_hits
+        self.sample_cache_hits += other.sample_cache_hits
         self.unique_transpiles_computed += other.unique_transpiles_computed
         self.unique_ideals_computed += other.unique_ideals_computed
         self.prepare_seconds += other.prepare_seconds
@@ -95,6 +102,7 @@ class EngineRunStats:
             "transpiled_jobs": self.transpiled_jobs,
             "transpile_cache_hits": self.transpile_cache_hits,
             "ideal_cache_hits": self.ideal_cache_hits,
+            "sample_cache_hits": self.sample_cache_hits,
             "unique_transpiles_computed": self.unique_transpiles_computed,
             "unique_ideals_computed": self.unique_ideals_computed,
             "prepare_seconds": self.prepare_seconds,
@@ -253,6 +261,9 @@ class ExecutionEngine:
             if job.job_id in seen_ids:
                 raise EngineError(f"duplicate job_id {job.job_id!r} in batch")
             seen_ids.add(job.job_id)
+            # Fail fast (DeviceError naming device and widths) instead of an
+            # index error deep inside routing or the bit-flip sampler.
+            job.validate_width()
 
         pool = self._get_pool() if len(jobs) > 1 else None
         return self._run_phases(jobs, seed, stats, pool, wall_start)
@@ -327,31 +338,51 @@ class ExecutionEngine:
         stats.unique_ideals_computed = len(to_simulate)
 
         # ---- Phase 3: noisy sampling (one independent RNG stream per job) ----
-        sample_tasks = [
-            (
-                index,
-                executed_circuits[index],
-                ideal_distributions[job_ikeys[index]],
-                job.noise_model,
-                job.shots,
-                job.method,
-                (seed, index),
+        # The sample cache is keyed on (executed circuit, noise fingerprint —
+        # including any calibration snapshot —, shots, method, seed entropy),
+        # so a hit returns exactly the histogram the per-job RNG stream would
+        # draw and bit-identity across worker counts is preserved.
+        sampled_by_index: dict[int, tuple[Distribution, float, bool]] = {}
+        job_skeys: list[str] = []
+        sample_tasks: list[tuple] = []
+        for index, job in enumerate(jobs):
+            skey = sample_key(
+                executed_circuits[index], job.noise_model, job.shots, job.method, (seed, index)
             )
-            for index, job in enumerate(jobs)
-        ]
-        sampled = self._map(pool, _sample_task, sample_tasks)
+            job_skeys.append(skey)
+            cached = self.cache.get("sample", skey)
+            if cached is not None:
+                sampled_by_index[index] = (cached, 0.0, True)
+                continue
+            sample_tasks.append(
+                (
+                    index,
+                    executed_circuits[index],
+                    ideal_distributions[job_ikeys[index]],
+                    job.noise_model,
+                    job.shots,
+                    job.method,
+                    (seed, index),
+                )
+            )
+        for index, noisy, sample_seconds in self._map(pool, _sample_task, sample_tasks):
+            self.cache.put("sample", job_skeys[index], noisy)
+            sampled_by_index[index] = (noisy, sample_seconds, False)
 
         # ---- Assemble results in batch order ----
         results: list[JobResult] = []
-        for (index, noisy, sample_seconds), job in zip(sampled, jobs):
+        for index, job in enumerate(jobs):
+            noisy, sample_seconds, sample_hit = sampled_by_index[index]
             tkey = job_tkeys[index]
             ikey = job_ikeys[index]
             executed = executed_circuits[index]
             ideal = ideal_distributions[ikey]
             transpiled = tkey is not None
             num_swaps = transpile_artifacts[tkey].num_swaps if transpiled else 0
+            measurement_permutation: tuple[int, ...] | None = None
             if transpiled and job.map_to_logical:
                 permutation = list(transpile_artifacts[tkey].permutation)
+                measurement_permutation = tuple(permutation)
                 if permutation != list(range(len(permutation))):
                     noisy = noisy.mapped(permutation)
                     ideal = ideal.mapped(permutation)
@@ -363,6 +394,7 @@ class ExecutionEngine:
             stats.transpiled_jobs += 1 if transpiled else 0
             stats.transpile_cache_hits += 1 if transpile_hit else 0
             stats.ideal_cache_hits += 1 if ideal_hit else 0
+            stats.sample_cache_hits += 1 if sample_hit else 0
             stats.prepare_seconds += prepare_seconds
             stats.sample_seconds += sample_seconds
             results.append(
@@ -380,6 +412,9 @@ class ExecutionEngine:
                     prepare_seconds=prepare_seconds,
                     sample_seconds=sample_seconds,
                     metadata=dict(job.metadata),
+                    sample_cache_hit=sample_hit,
+                    measurement_permutation=measurement_permutation,
+                    executed_circuit=executed,
                 )
             )
         stats.wall_seconds = time.perf_counter() - wall_start

@@ -15,8 +15,16 @@ import struct
 
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.coupling import CouplingMap
+from repro.quantum.noise import NoiseModel
 
-__all__ = ["circuit_fingerprint", "coupling_fingerprint", "transpile_key", "ideal_key"]
+__all__ = [
+    "circuit_fingerprint",
+    "coupling_fingerprint",
+    "noise_fingerprint",
+    "transpile_key",
+    "ideal_key",
+    "sample_key",
+]
 
 
 def _hash_circuit_into(digest: "hashlib._Hash", circuit: QuantumCircuit) -> None:
@@ -78,4 +86,61 @@ def ideal_key(circuit: QuantumCircuit) -> str:
     """Cache key of a circuit's noise-free measurement distribution."""
     digest = hashlib.sha256(b"repro-ideal-v1")
     _hash_circuit_into(digest, circuit)
+    return digest.hexdigest()
+
+
+def noise_fingerprint(noise_model: NoiseModel) -> str:
+    """Hex digest of a noise model, including any attached calibration.
+
+    The scalar channel rates are packed at full precision; when a
+    per-qubit/per-edge :class:`~repro.calibration.snapshot.CalibrationSnapshot`
+    is attached its own content fingerprint is folded in, so a calibrated
+    model never collides with the uniform model sharing its medians — the
+    invariant that keeps heterogeneous and uniform sweeps apart in the
+    sample cache.
+    """
+    digest = hashlib.sha256(b"repro-noise-v1")
+    digest.update(
+        struct.pack(
+            "<6d",
+            noise_model.single_qubit_error,
+            noise_model.two_qubit_error,
+            noise_model.readout_error.prob_1_given_0,
+            noise_model.readout_error.prob_0_given_1,
+            noise_model.idle_error_per_layer,
+            noise_model.crosstalk_error,
+        )
+    )
+    if noise_model.calibration is None:
+        digest.update(b"calibration:none")
+    else:
+        digest.update(b"calibration:")
+        digest.update(noise_model.calibration.fingerprint().encode("ascii"))
+    return digest.hexdigest()
+
+
+def sample_key(
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel,
+    shots: int,
+    method: str,
+    entropy: tuple[int, ...],
+) -> str:
+    """Cache key of one noisy sampling run.
+
+    Sampling is deterministic given the executed circuit, the noise model,
+    the shot budget, the sampling method and the RNG seed entropy — the
+    engine derives every job's generator from ``(seed, batch index)``, so
+    including that entropy here makes cached histograms exactly the ones an
+    uncached run would draw, preserving worker-count bit-identity.
+    """
+    digest = hashlib.sha256(b"repro-sample-v1")
+    _hash_circuit_into(digest, circuit)
+    digest.update(noise_fingerprint(noise_model).encode("ascii"))
+    digest.update(struct.pack("<q", shots))
+    method_bytes = method.encode("utf-8")
+    digest.update(struct.pack("<q", len(method_bytes)))
+    digest.update(method_bytes)
+    digest.update(struct.pack("<q", len(entropy)))
+    digest.update(struct.pack(f"<{len(entropy)}q", *entropy))
     return digest.hexdigest()

@@ -14,9 +14,10 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.distribution import Distribution
-from repro.exceptions import EngineError
+from repro.exceptions import DeviceError, EngineError
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.coupling import CouplingMap
+from repro.quantum.device import DeviceProfile
 from repro.quantum.noise import NoiseModel
 
 __all__ = ["CircuitJob", "JobResult"]
@@ -43,6 +44,11 @@ class CircuitJob:
     coupling_map / basis_gates:
         Transpilation target.  When both are ``None`` the circuit runs as-is
         (no routing, no basis decomposition).
+    device:
+        Optional :class:`~repro.quantum.device.DeviceProfile` the job
+        targets.  Used for width validation at submission time (see
+        :meth:`validate_width`) and as provenance; it does **not** imply
+        transpilation — pass ``coupling_map``/``basis_gates`` for that.
     map_to_logical:
         When the circuit was routed, un-permute the measured bitstrings (and
         the ideal distribution) back to logical qubit order.
@@ -60,6 +66,7 @@ class CircuitJob:
     noise_model: NoiseModel
     coupling_map: CouplingMap | None = None
     basis_gates: tuple[str, ...] | None = None
+    device: DeviceProfile | None = None
     map_to_logical: bool = True
     method: str = "bitflip"
     metadata: Mapping[str, Any] = field(default_factory=dict)
@@ -79,6 +86,33 @@ class CircuitJob:
     def wants_transpile(self) -> bool:
         """True when the job requests routing and/or basis decomposition."""
         return self.coupling_map is not None or self.basis_gates is not None
+
+    def validate_width(self) -> None:
+        """Check that the circuit fits every width-bearing target of the job.
+
+        Called by the engine at submission time so that a circuit wider than
+        its device fails with a :class:`~repro.exceptions.DeviceError`
+        naming the device and both widths — instead of an index error deep
+        inside the routing pass or the bit-flip sampler.
+        """
+        width = self.circuit.num_qubits
+        if self.device is not None and not self.device.supports_circuit_width(width):
+            raise DeviceError(
+                f"job {self.job_id!r}: circuit {self.circuit.name!r} needs {width} qubits "
+                f"but device {self.device.name!r} has {self.device.num_qubits}"
+            )
+        if self.coupling_map is not None and width > self.coupling_map.num_qubits:
+            raise DeviceError(
+                f"job {self.job_id!r}: circuit {self.circuit.name!r} needs {width} qubits "
+                f"but coupling map {self.coupling_map.name!r} has {self.coupling_map.num_qubits}"
+            )
+        calibration = self.noise_model.calibration
+        if calibration is not None and not calibration.supports_width(width):
+            raise DeviceError(
+                f"job {self.job_id!r}: circuit {self.circuit.name!r} needs {width} qubits "
+                f"but the calibration of device {calibration.device_name!r} covers only "
+                f"{calibration.num_qubits}"
+            )
 
 
 @dataclass
@@ -104,6 +138,31 @@ class JobResult:
     prepare_seconds: float
     sample_seconds: float
     metadata: dict[str, Any] = field(default_factory=dict)
+    sample_cache_hit: bool = False
+    #: ``permutation[logical_bit] = physical_bit`` of the routed circuit, set
+    #: when the histograms were un-permuted to logical order (transpiled jobs
+    #: with ``map_to_logical``).  Per-physical-qubit quantities — calibration
+    #: readout rates, accumulated flip probabilities of ``executed_circuit``
+    #: — must be gathered through :meth:`to_logical_order` before being
+    #: applied to the (logical) histograms.  ``None`` means histograms are in
+    #: physical/circuit order.
+    measurement_permutation: tuple[int, ...] | None = None
+    #: The circuit that was actually simulated and sampled (routed +
+    #: decomposed when the job transpiled, the input circuit otherwise).
+    #: Qubit indices are physical.
+    executed_circuit: QuantumCircuit | None = None
+
+    def to_logical_order(self, per_physical_qubit: "np.ndarray") -> "np.ndarray":
+        """Gather a per-physical-qubit array into the histograms' bit order.
+
+        ``result[l] = per_physical_qubit[permutation[l]]`` — logical bit
+        ``l`` was measured on physical qubit ``permutation[l]``, so its
+        readout/flip rates live at that physical index.  Identity when the
+        job was not routed (or ran in physical order).
+        """
+        if self.measurement_permutation is None:
+            return per_physical_qubit
+        return per_physical_qubit[list(self.measurement_permutation)]
 
     def as_trace_row(self) -> dict[str, Any]:
         """Flat row for trace tables (same shape as ``trace_pipeline`` rows)."""
@@ -113,6 +172,7 @@ class JobResult:
             "two_qubit_gates": self.two_qubit_gates,
             "transpile_cache_hit": self.transpile_cache_hit,
             "ideal_cache_hit": self.ideal_cache_hit,
+            "sample_cache_hit": self.sample_cache_hit,
             "prepare_seconds": self.prepare_seconds,
             "sample_seconds": self.sample_seconds,
         }

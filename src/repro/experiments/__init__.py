@@ -22,6 +22,7 @@ from repro.experiments.qaoa_study import (
     run_quality_distribution_example,
 )
 from repro.experiments.runner import ExperimentReport, format_table, gmean_of_ratios
+from repro.experiments.scenario_study import ScenarioStudyConfig, run_scenario_study
 from repro.experiments.spectrum_study import (
     SpectrumStudyConfig,
     run_bv_histogram_example,
@@ -57,6 +58,8 @@ __all__ = [
     "ExperimentReport",
     "format_table",
     "gmean_of_ratios",
+    "ScenarioStudyConfig",
+    "run_scenario_study",
     "SpectrumStudyConfig",
     "run_bv_histogram_example",
     "run_chs_pipeline",

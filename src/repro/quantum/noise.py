@@ -27,12 +27,16 @@ Two consumers use these models:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import NoiseModelError
 from repro.quantum.circuit import Instruction, QuantumCircuit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (calibration -> device -> noise)
+    from repro.calibration.snapshot import CalibrationSnapshot
 
 __all__ = ["ReadoutError", "PauliNoise", "NoiseModel"]
 
@@ -142,6 +146,14 @@ class NoiseModel:
         Extra error probability added to *spectator* qubits adjacent to a
         two-qubit gate (0 disables crosstalk).  Only the bit-flip sampler
         uses this term.
+    calibration:
+        Optional per-qubit / per-edge
+        :class:`~repro.calibration.snapshot.CalibrationSnapshot`.  When
+        present, every consumer (gate channels, accumulated flip
+        probabilities, readout flips) reads the heterogeneous rates and the
+        scalar fields above only serve as documentation of the medians.
+        When ``None`` (the default) the scalars are used directly — the
+        zero-copy uniform fast path, bit-identical to historical releases.
     """
 
     single_qubit_error: float = 0.001
@@ -149,6 +161,7 @@ class NoiseModel:
     readout_error: ReadoutError = field(default_factory=lambda: ReadoutError(0.015, 0.03))
     idle_error_per_layer: float = 0.0005
     crosstalk_error: float = 0.0
+    calibration: "CalibrationSnapshot | None" = None
 
     def __post_init__(self) -> None:
         for name in ("single_qubit_error", "two_qubit_error", "idle_error_per_layer", "crosstalk_error"):
@@ -157,10 +170,49 @@ class NoiseModel:
                 raise NoiseModelError(f"{name} must be in [0, 1], got {value}")
 
     # ------------------------------------------------------------------
+    # Calibration plumbing
+    # ------------------------------------------------------------------
+    @property
+    def is_calibrated(self) -> bool:
+        """True when per-qubit/per-edge calibration arrays are attached."""
+        return self.calibration is not None
+
+    def with_calibration(self, calibration: "CalibrationSnapshot | None") -> "NoiseModel":
+        """Copy of this model with the given calibration attached (or removed)."""
+        return replace(self, calibration=calibration)
+
+    def require_width(self, num_qubits: int) -> None:
+        """Raise when a circuit of the given width exceeds the calibration."""
+        if self.calibration is not None and not self.calibration.supports_width(num_qubits):
+            raise NoiseModelError(
+                f"circuit needs {num_qubits} qubits but the calibration of device "
+                f"{self.calibration.device_name!r} covers only {self.calibration.num_qubits}"
+            )
+
+    def single_qubit_rates(self, num_qubits: int) -> np.ndarray:
+        """Per-qubit single-qubit gate error array (uniform fill or calibrated)."""
+        if self.calibration is None:
+            return np.full(num_qubits, self.single_qubit_error)
+        self.require_width(num_qubits)
+        return np.asarray(self.calibration.single_qubit_error[:num_qubits])
+
+    def idle_rates(self, num_qubits: int) -> np.ndarray:
+        """Per-qubit idle error array (uniform fill or calibrated)."""
+        if self.calibration is None:
+            return np.full(num_qubits, self.idle_error_per_layer)
+        self.require_width(num_qubits)
+        return np.asarray(self.calibration.idle_error_per_layer[:num_qubits])
+
+    # ------------------------------------------------------------------
     # Per-gate channels
     # ------------------------------------------------------------------
     def gate_error(self, instruction: Instruction) -> float:
         """Depolarizing error probability associated with one instruction."""
+        if self.calibration is not None:
+            self.require_width(max(instruction.qubits) + 1)
+            if instruction.num_qubits == 2:
+                return self.calibration.edge_error(*instruction.qubits)
+            return float(self.calibration.single_qubit_error[instruction.qubits[0]])
         return self.two_qubit_error if instruction.num_qubits == 2 else self.single_qubit_error
 
     def gate_channel(self, instruction: Instruction) -> PauliNoise:
@@ -183,14 +235,15 @@ class NoiseModel:
                 pauli = channel.sample(rng)
                 if pauli is not None:
                     errors.append((position, Instruction(pauli, (qubit,))))
-        # Idle errors: one channel per qubit per depth layer.
+        # Idle errors: one channel per qubit per depth layer (per-qubit rates
+        # when calibrated; with a uniform model every qubit draws from the
+        # same channel, so the RNG stream matches the historical scalar path).
         depth = circuit.depth()
-        if self.idle_error_per_layer > 0 and depth > 0:
-            idle_channel = PauliNoise.depolarizing(
-                min(1.0, self.idle_error_per_layer * depth)
-            )
+        idle_rates = self.idle_rates(circuit.num_qubits)
+        if depth > 0 and np.any(idle_rates > 0):
             last_position = len(circuit.instructions) - 1
             for qubit in range(circuit.num_qubits):
+                idle_channel = PauliNoise.depolarizing(min(1.0, idle_rates[qubit] * depth))
                 pauli = idle_channel.sample(rng)
                 if pauli is not None:
                     errors.append((last_position, Instruction(pauli, (qubit,))))
@@ -208,6 +261,7 @@ class NoiseModel:
         dataset emulators use.
         """
         num_qubits = circuit.num_qubits
+        self.require_width(num_qubits)
         survival = np.ones(num_qubits, dtype=float)
         two_qubit_neighbors = circuit.two_qubit_gates_per_qubit()
         for instruction in circuit.instructions:
@@ -215,11 +269,15 @@ class NoiseModel:
             for qubit in instruction.qubits:
                 survival[qubit] *= 1.0 - flip
         depth = circuit.depth()
-        if self.idle_error_per_layer > 0 and depth > 0:
-            idle_flip = PauliNoise.depolarizing(
-                min(1.0, self.idle_error_per_layer * depth)
-            ).bitflip_probability
-            survival *= 1.0 - idle_flip
+        if self.calibration is None:
+            if self.idle_error_per_layer > 0 and depth > 0:
+                idle_flip = PauliNoise.depolarizing(
+                    min(1.0, self.idle_error_per_layer * depth)
+                ).bitflip_probability
+                survival *= 1.0 - idle_flip
+        elif depth > 0:
+            idle = np.minimum(1.0, self.idle_rates(num_qubits) * depth)
+            survival *= 1.0 - (2.0 / 3.0) * idle
         if self.crosstalk_error > 0:
             for qubit in range(num_qubits):
                 crosstalk_exposure = min(1.0, self.crosstalk_error * two_qubit_neighbors[qubit])
@@ -235,12 +293,29 @@ class NoiseModel:
         component of the bit-flip sampler, which is what makes the EHD grow
         with circuit size in the characterisation experiments (Figure 12).
         """
+        if self.calibration is not None:
+            survival = 1.0
+            for instruction in circuit.instructions:
+                if instruction.num_qubits == 2:
+                    survival *= 1.0 - 0.5 * self.calibration.edge_error(*instruction.qubits)
+            return float(1.0 - survival)
         num_two_qubit = circuit.num_two_qubit_gates()
         per_gate = self.two_qubit_error * 0.5
         return float(1.0 - (1.0 - per_gate) ** num_two_qubit)
 
     def readout_flip_probabilities(self, num_qubits: int) -> tuple[np.ndarray, np.ndarray]:
-        """Arrays of per-qubit flip probabilities ``p(read 1 | 0)`` and ``p(read 0 | 1)``."""
+        """Arrays of per-qubit flip probabilities ``p(read 1 | 0)`` and ``p(read 0 | 1)``.
+
+        With a calibration attached, the snapshot's per-qubit vectors are
+        returned (sliced to the register width); otherwise the uniform
+        scalars are broadcast.
+        """
+        if self.calibration is not None:
+            self.require_width(num_qubits)
+            return (
+                np.asarray(self.calibration.p10[:num_qubits]),
+                np.asarray(self.calibration.p01[:num_qubits]),
+            )
         p10 = np.full(num_qubits, self.readout_error.prob_1_given_0)
         p01 = np.full(num_qubits, self.readout_error.prob_0_given_1)
         return p10, p01
@@ -249,7 +324,14 @@ class NoiseModel:
     # Variants
     # ------------------------------------------------------------------
     def scaled(self, factor: float) -> "NoiseModel":
-        """Return a copy with all error rates multiplied by ``factor`` (capped at 1)."""
+        """Return a copy with all error rates multiplied by ``factor``.
+
+        Every field — the uniform scalars and, when a calibration is
+        attached, each per-qubit / per-edge entry — is capped at 1.0
+        individually.  ``factor == 0`` on a calibrated model yields an
+        all-zero calibration, equivalent to :meth:`noiseless` in every
+        consumer.
+        """
         if factor < 0:
             raise NoiseModelError(f"scale factor must be >= 0, got {factor}")
 
@@ -265,6 +347,7 @@ class NoiseModel:
             ),
             idle_error_per_layer=cap(self.idle_error_per_layer),
             crosstalk_error=cap(self.crosstalk_error),
+            calibration=None if self.calibration is None else self.calibration.scaled(factor),
         )
 
     @classmethod

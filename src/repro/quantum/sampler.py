@@ -22,6 +22,14 @@ Two sampling strategies are provided behind one entry point,
     the dataset emulators; it produces exactly the Hamming-clustered +
     uniform-background histograms the paper characterises.
 
+Both paths consume the noise model through per-qubit *arrays*
+(``accumulated_bitflip_probabilities``, ``readout_flip_probabilities``), so a
+:class:`~repro.quantum.noise.NoiseModel` carrying a per-qubit/per-edge
+:class:`~repro.calibration.snapshot.CalibrationSnapshot` is sampled with no
+extra RNG draws and no code change here — heterogeneity only changes the
+probabilities inside the arrays, and a uniform model remains bit-identical
+to historical releases.
+
 Both return a :class:`~repro.core.distribution.Distribution` over bitstrings
 (qubit 0 = most-significant bit).  Internally each path works on ``(shots, n)``
 bit matrices end to end and hands the final matrix to

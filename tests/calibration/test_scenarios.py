@@ -1,0 +1,98 @@
+"""Tests for the scenario registry and scenario-built devices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import all_scenarios, available_scenarios, get_scenario, scenario_device
+from repro.calibration.scenario import Scenario
+from repro.exceptions import DeviceError
+
+
+class TestRegistry:
+    def test_zoo_has_at_least_twelve_scenarios(self):
+        assert len(available_scenarios()) >= 12
+
+    def test_zoo_spans_every_topology(self):
+        topologies = {scenario.topology for scenario in all_scenarios()}
+        assert topologies == {"linear", "ring", "grid", "heavy-hex", "sycamore"}
+
+    def test_zoo_spans_spreads_and_drift(self):
+        spreads = {scenario.spread for scenario in all_scenarios()}
+        assert 0.0 in spreads and max(spreads) >= 0.5 and len(spreads) >= 3
+        assert any(scenario.drift_time > 0 for scenario in all_scenarios())
+
+    def test_lookup_by_name(self):
+        scenario = get_scenario("heavy-hex-12-spread")
+        assert scenario.topology == "heavy-hex"
+        assert scenario.num_qubits == 12
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(DeviceError):
+            get_scenario("does-not-exist")
+
+    def test_rows_cover_every_scenario(self):
+        from repro.calibration import scenario_rows
+
+        rows = scenario_rows()
+        assert [row["name"] for row in rows] == available_scenarios()
+
+
+class TestScenarioDevices:
+    def test_every_scenario_builds_a_device(self):
+        for scenario in all_scenarios():
+            device = scenario.device()
+            assert device.num_qubits == scenario.num_qubits
+            assert device.coupling_map.num_qubits == scenario.num_qubits
+
+    def test_uniform_scenario_keeps_fast_path(self):
+        device = get_scenario("linear-12-uniform").device()
+        assert device.noise_model.calibration is None
+
+    def test_spread_scenario_is_calibrated(self):
+        device = get_scenario("linear-12-spread").device()
+        calibration = device.noise_model.calibration
+        assert calibration is not None
+        assert calibration.num_qubits == 12
+        assert len(set(calibration.two_qubit_error.tolist())) > 1
+
+    def test_drifted_scenario_differs_from_fresh(self):
+        fresh = Scenario("tmp-fresh", "ring", 12, spread=0.3, calibration_seed=202)
+        drifted = get_scenario("ring-12-drifted")
+        assert fresh.snapshot() != drifted.snapshot()
+        assert drifted.snapshot().drift_time == drifted.drift_time
+
+    def test_snapshot_is_deterministic(self):
+        scenario = get_scenario("sycamore-12-drifted")
+        assert scenario.snapshot() == scenario.snapshot()
+
+    def test_scenario_device_memoises(self):
+        assert scenario_device("grid-3x4-spread") is scenario_device("grid-3x4-spread")
+
+    def test_grid_scenario_rejects_bad_size(self):
+        with pytest.raises(DeviceError):
+            Scenario("bad-grid", "grid", 13, spread=0.1).device()
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(DeviceError):
+            Scenario("bad-topology", "moebius", 12, spread=0.1)
+
+
+class TestScenarioValidation:
+    def test_rejects_nonpositive_shots(self):
+        with pytest.raises(DeviceError):
+            Scenario("bad-shots", "linear", 12, spread=0.1, shots=0)
+
+    def test_rejects_negative_spread(self):
+        with pytest.raises(DeviceError):
+            Scenario("bad-spread", "linear", 12, spread=-0.1)
+
+    def test_rejects_tiny_device(self):
+        with pytest.raises(DeviceError):
+            Scenario("bad-size", "linear", 1, spread=0.1)
+
+
+class TestCaseInsensitiveLookup:
+    def test_scenario_device_accepts_any_casing(self):
+        assert scenario_device("RING-12-SPREAD") is scenario_device("ring-12-spread")

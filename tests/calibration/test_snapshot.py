@@ -1,0 +1,231 @@
+"""Tests for CalibrationSnapshot: validation, drift, JSON, generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import CalibrationSnapshot, synthetic_snapshot, uniform_snapshot
+from repro.exceptions import NoiseModelError
+from repro.quantum.device import google_sycamore, ibm_paris
+
+
+def _snapshot(num_qubits=4, seed=7, **overrides) -> CalibrationSnapshot:
+    fields = dict(
+        device_name="test-device",
+        num_qubits=num_qubits,
+        p10=np.full(num_qubits, 0.02),
+        p01=np.full(num_qubits, 0.04),
+        single_qubit_error=np.full(num_qubits, 0.001),
+        idle_error_per_layer=np.full(num_qubits, 0.0005),
+        edges=tuple((i, i + 1) for i in range(num_qubits - 1)),
+        two_qubit_error=np.full(num_qubits - 1, 0.015),
+        seed=seed,
+    )
+    fields.update(overrides)
+    return CalibrationSnapshot(**fields)
+
+
+class TestValidation:
+    def test_rejects_wrong_length(self):
+        with pytest.raises(NoiseModelError):
+            _snapshot(p10=np.full(3, 0.02))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(NoiseModelError):
+            _snapshot(p01=np.array([0.1, 0.2, 1.5, 0.1]))
+
+    def test_rejects_non_canonical_edge(self):
+        with pytest.raises(NoiseModelError):
+            _snapshot(edges=((1, 0), (1, 2), (2, 3)))
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(NoiseModelError):
+            _snapshot(edges=((0, 1), (0, 1), (2, 3)))
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(NoiseModelError):
+            _snapshot(edges=((1, 2), (0, 1), (2, 3)))
+
+    def test_rejects_edge_outside_register(self):
+        with pytest.raises(NoiseModelError):
+            _snapshot(edges=((0, 1), (1, 2), (3, 4)))
+
+    def test_arrays_are_read_only(self):
+        snapshot = _snapshot()
+        with pytest.raises(ValueError):
+            snapshot.p10[0] = 0.5
+
+
+class TestLookups:
+    def test_edge_error_and_median_fallback(self):
+        snapshot = _snapshot(two_qubit_error=np.array([0.01, 0.02, 0.03]))
+        assert snapshot.edge_error(1, 0) == 0.01
+        assert snapshot.edge_error(2, 3) == 0.03
+        # (0, 2) is not a coupler: median fallback.
+        assert snapshot.edge_error(0, 2) == pytest.approx(0.02)
+
+    def test_supports_width(self):
+        snapshot = _snapshot(num_qubits=4)
+        assert snapshot.supports_width(4)
+        assert not snapshot.supports_width(5)
+
+
+class TestDrift:
+    def test_zero_time_is_identity(self):
+        snapshot = _snapshot()
+        assert snapshot.drifted(0.0) == snapshot
+
+    def test_drift_is_deterministic(self):
+        snapshot = _snapshot()
+        assert snapshot.drifted(3.0) == snapshot.drifted(3.0)
+
+    def test_drift_changes_rates_and_accumulates_time(self):
+        snapshot = _snapshot()
+        drifted = snapshot.drifted(3.0)
+        assert drifted != snapshot
+        assert drifted.drift_time == 3.0
+        assert not np.array_equal(drifted.two_qubit_error, snapshot.two_qubit_error)
+        assert drifted.drifted(2.0).drift_time == 5.0
+
+    def test_different_times_differ(self):
+        snapshot = _snapshot()
+        assert snapshot.drifted(1.0) != snapshot.drifted(2.0)
+
+    def test_drift_respects_cap(self):
+        snapshot = _snapshot(p01=np.full(4, 0.999))
+        drifted = snapshot.drifted(100.0, drift_scale=2.0)
+        assert np.all(drifted.p01 <= 1.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(NoiseModelError):
+            _snapshot().drifted(-1.0)
+
+
+class TestScaled:
+    def test_scales_every_field(self):
+        snapshot = _snapshot()
+        doubled = snapshot.scaled(2.0)
+        assert np.allclose(doubled.p10, snapshot.p10 * 2)
+        assert np.allclose(doubled.two_qubit_error, snapshot.two_qubit_error * 2)
+
+    def test_caps_per_entry(self):
+        snapshot = _snapshot(p01=np.array([0.9, 0.1, 0.1, 0.1]))
+        scaled = snapshot.scaled(5.0)
+        assert scaled.p01[0] == 1.0
+        assert scaled.p01[1] == pytest.approx(0.5)
+
+    def test_factor_zero_zeroes_everything(self):
+        zero = _snapshot().scaled(0.0)
+        for name in ("p10", "p01", "single_qubit_error", "idle_error_per_layer", "two_qubit_error"):
+            assert np.all(getattr(zero, name) == 0.0)
+
+
+class TestJsonRoundTrip:
+    def test_exact_round_trip(self):
+        snapshot = synthetic_snapshot(ibm_paris(), seed=5, spread=0.4)
+        assert CalibrationSnapshot.from_json(snapshot.to_json()) == snapshot
+
+    def test_round_trip_preserves_fingerprint(self):
+        snapshot = synthetic_snapshot(google_sycamore(), seed=11, spread=0.5).drifted(2.5)
+        restored = CalibrationSnapshot.from_json(snapshot.to_json())
+        assert restored.fingerprint() == snapshot.fingerprint()
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(NoiseModelError):
+            CalibrationSnapshot.from_json("{not json")
+
+    def test_rejects_missing_and_unknown_keys(self):
+        import json
+
+        snapshot = _snapshot()
+        payload = json.loads(snapshot.to_json())
+        del payload["p10"]
+        with pytest.raises(NoiseModelError):
+            CalibrationSnapshot.from_json(json.dumps(payload))
+        payload = json.loads(snapshot.to_json())
+        payload["surprise"] = 1
+        with pytest.raises(NoiseModelError):
+            CalibrationSnapshot.from_json(json.dumps(payload))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_qubits=st.integers(min_value=1, max_value=12),
+        rates=st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=60, max_size=60),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        drift_time=st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    )
+    def test_round_trip_property(self, num_qubits, rates, seed, drift_time):
+        n = num_qubits
+        edges = tuple((i, i + 1) for i in range(n - 1))
+        snapshot = CalibrationSnapshot(
+            device_name="prop-device",
+            num_qubits=n,
+            p10=rates[:n],
+            p01=rates[12 : 12 + n],
+            single_qubit_error=rates[24 : 24 + n],
+            idle_error_per_layer=rates[36 : 36 + n],
+            edges=edges,
+            two_qubit_error=rates[48 : 48 + len(edges)],
+            seed=seed,
+            drift_time=drift_time,
+        )
+        restored = CalibrationSnapshot.from_json(snapshot.to_json())
+        assert restored == snapshot
+        assert restored.fingerprint() == snapshot.fingerprint()
+
+
+class TestGenerators:
+    def test_deterministic_per_device_and_seed(self):
+        a = synthetic_snapshot(ibm_paris(), seed=3, spread=0.3)
+        b = synthetic_snapshot(ibm_paris(), seed=3, spread=0.3)
+        assert a == b
+
+    def test_seed_changes_snapshot(self):
+        assert synthetic_snapshot(ibm_paris(), seed=3) != synthetic_snapshot(ibm_paris(), seed=4)
+
+    def test_device_changes_snapshot(self):
+        a = synthetic_snapshot(ibm_paris(), seed=3)
+        b = synthetic_snapshot(google_sycamore(), seed=3)
+        assert a.device_name != b.device_name
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_edges_match_coupling_map(self):
+        device = ibm_paris()
+        snapshot = synthetic_snapshot(device, seed=0)
+        assert snapshot.edges == tuple(device.coupling_map.edges())
+
+    def test_zero_spread_equals_medians(self):
+        device = ibm_paris()
+        snapshot = uniform_snapshot(device)
+        model = device.noise_model
+        assert np.all(snapshot.p10 == model.readout_error.prob_1_given_0)
+        assert np.all(snapshot.p01 == model.readout_error.prob_0_given_1)
+        assert np.all(snapshot.single_qubit_error == model.single_qubit_error)
+        assert np.all(snapshot.two_qubit_error == model.two_qubit_error)
+
+    def test_spread_produces_heterogeneity(self):
+        snapshot = synthetic_snapshot(ibm_paris(), seed=1, spread=0.5)
+        assert len(set(snapshot.p10.tolist())) > 1
+        assert len(set(snapshot.two_qubit_error.tolist())) > 1
+
+    def test_rejects_negative_spread(self):
+        with pytest.raises(NoiseModelError):
+            synthetic_snapshot(ibm_paris(), spread=-0.1)
+
+
+class TestDriftWalkIndependence:
+    def test_successive_steps_draw_independent_factors(self):
+        snapshot = _snapshot()
+        first = snapshot.drifted(2.0)
+        second = first.drifted(2.0)
+        step1 = first.two_qubit_error / snapshot.two_qubit_error
+        step2 = second.two_qubit_error / first.two_qubit_error
+        assert not np.allclose(step1, step2)
+
+    def test_opposite_seeds_drift_differently(self):
+        a = _snapshot(seed=5).drifted(2.0)
+        b = _snapshot(seed=-5).drifted(2.0)
+        assert not np.array_equal(a.two_qubit_error, b.two_qubit_error)

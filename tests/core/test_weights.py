@@ -9,6 +9,7 @@ from repro.core.weights import (
     ExponentialDecayWeights,
     InverseChsWeights,
     NearestNeighborWeights,
+    NoiseAwareWeights,
     UniformWeights,
     resolve_weight_scheme,
 )
@@ -80,3 +81,79 @@ class TestResolution:
     def test_resolve_bad_type(self):
         with pytest.raises(DistributionError):
             resolve_weight_scheme(42)  # type: ignore[arg-type]
+
+
+class TestNoiseAwareWeights:
+    def test_pmf_is_a_distribution(self):
+        pmf = NoiseAwareWeights.flip_distance_pmf([0.1, 0.2, 0.05, 0.3])
+        assert pmf.shape == (5,)
+        assert np.all(pmf >= 0)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_pmf_matches_binomial_for_uniform_rates(self):
+        from math import comb
+
+        p, n = 0.2, 6
+        pmf = NoiseAwareWeights.flip_distance_pmf([p] * n)
+        for k in range(n + 1):
+            assert pmf[k] == pytest.approx(comb(n, k) * p**k * (1 - p) ** (n - k))
+
+    def test_weights_invert_the_analytic_spectrum(self):
+        scheme = NoiseAwareWeights([0.1, 0.1, 0.1, 0.1])
+        chs = np.ones(5)
+        weights = scheme.compute(chs, num_bits=4, cutoff=2)
+        pmf = NoiseAwareWeights.flip_distance_pmf([0.1] * 4)
+        assert weights[0] == pytest.approx(1.0 / pmf[0])
+        assert weights[1] == pytest.approx(1.0 / pmf[1])
+        assert np.all(weights[2:] == 0.0)
+
+    def test_sensitive_to_which_qubit_is_bad(self):
+        good = NoiseAwareWeights([0.01, 0.01, 0.3, 0.01])
+        uniform = NoiseAwareWeights([0.0825] * 4)
+        chs = np.ones(5)
+        assert not np.allclose(
+            good.compute(chs, 4, 3), uniform.compute(chs, 4, 3)
+        )
+
+    def test_from_noise_model_uses_accumulated_flips(self):
+        from repro.circuits.bv import bernstein_vazirani
+        from repro.quantum.device import ibm_paris
+
+        circuit = bernstein_vazirani("1011")
+        model = ibm_paris().noise_model
+        scheme = NoiseAwareWeights.from_noise_model(model, circuit)
+        expected = model.accumulated_bitflip_probabilities(circuit)
+        assert np.allclose(scheme.flip_probabilities, expected)
+
+    def test_registry_resolution_falls_back_to_inverse_chs(self):
+        scheme = resolve_weight_scheme("noise_aware")
+        assert isinstance(scheme, NoiseAwareWeights)
+        chs = np.array([0.5, 0.25, 0.1, 0.0, 0.0])
+        assert np.allclose(
+            scheme.compute(chs, 4, 2), InverseChsWeights().compute(chs, 4, 2)
+        )
+
+    def test_equality_and_hash(self):
+        a = NoiseAwareWeights([0.1, 0.2])
+        b = NoiseAwareWeights([0.1, 0.2])
+        c = NoiseAwareWeights([0.1, 0.3])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_rejects_invalid_probabilities(self):
+        with pytest.raises(DistributionError):
+            NoiseAwareWeights([0.1, 1.5])
+        with pytest.raises(DistributionError):
+            NoiseAwareWeights([])
+
+    def test_hammer_accepts_the_scheme(self):
+        from repro.core.distribution import Distribution
+        from repro.core.hammer import HammerConfig, hammer
+
+        noisy = Distribution(
+            {"0000": 30, "0001": 10, "0010": 8, "1000": 9, "1111": 20, "0111": 4}
+        )
+        config = HammerConfig(weight_scheme=NoiseAwareWeights([0.05, 0.1, 0.02, 0.08]))
+        reconstructed = hammer(noisy, config)
+        assert reconstructed.num_bits == 4
+        assert abs(sum(reconstructed.probabilities().values()) - 1.0) < 1e-9

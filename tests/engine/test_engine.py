@@ -267,3 +267,180 @@ class TestTrajectoryMethod:
         b = ExecutionEngine(max_workers=1).run(jobs, seed=3)[0]
         assert a.noisy.counts() == b.noisy.counts()
         assert a.noisy.num_bits == 4
+
+
+class TestWidthValidation:
+    def test_circuit_wider_than_device_fails_at_submission(self):
+        device = ibm_paris()
+        job = CircuitJob(
+            job_id="too-wide",
+            circuit=bernstein_vazirani("1" * (device.num_qubits + 1)),
+            shots=128,
+            noise_model=device.noise_model,
+            device=device,
+        )
+        from repro.exceptions import DeviceError
+
+        with pytest.raises(DeviceError, match=r"ibm-paris.*has 27|27"):
+            ExecutionEngine().run([job], seed=0)
+
+    def test_error_names_device_and_both_widths(self):
+        device = ibm_paris()
+        job = CircuitJob(
+            job_id="too-wide",
+            circuit=bernstein_vazirani("1" * 30),
+            shots=128,
+            noise_model=device.noise_model,
+            device=device,
+        )
+        from repro.exceptions import DeviceError
+
+        with pytest.raises(DeviceError) as excinfo:
+            ExecutionEngine().run([job], seed=0)
+        message = str(excinfo.value)
+        assert "ibm-paris" in message and "30" in message and "27" in message
+
+    def test_circuit_wider_than_coupling_map_fails_at_submission(self):
+        device = ibm_paris()
+        job = CircuitJob(
+            job_id="too-wide-map",
+            circuit=bernstein_vazirani("1" * 30),
+            shots=128,
+            noise_model=device.noise_model,
+            coupling_map=device.coupling_map,
+        )
+        from repro.exceptions import DeviceError
+
+        with pytest.raises(DeviceError, match="coupling map"):
+            ExecutionEngine().run([job], seed=0)
+
+    def test_circuit_wider_than_calibration_fails_at_submission(self):
+        from repro.calibration import synthetic_snapshot
+        from repro.exceptions import DeviceError
+        from repro.quantum.coupling import linear_coupling
+        from repro.quantum.device import DeviceProfile
+        from repro.quantum.noise import NoiseModel
+
+        small = DeviceProfile(
+            name="tiny", num_qubits=4, coupling_map=linear_coupling(4), noise_model=NoiseModel()
+        )
+        calibrated = NoiseModel().with_calibration(synthetic_snapshot(small, seed=0, spread=0.2))
+        job = CircuitJob(
+            job_id="too-wide-cal",
+            circuit=bernstein_vazirani("10101"),
+            shots=128,
+            noise_model=calibrated,
+        )
+        with pytest.raises(DeviceError, match="tiny"):
+            ExecutionEngine().run([job], seed=0)
+
+    def test_fitting_job_passes(self):
+        device = ibm_paris()
+        job = CircuitJob(
+            job_id="fits",
+            circuit=bernstein_vazirani("101"),
+            shots=128,
+            noise_model=device.noise_model,
+            device=device,
+            coupling_map=device.coupling_map,
+            basis_gates=device.basis_gates,
+        )
+        result = ExecutionEngine().run_single(job, seed=0)
+        assert result.noisy.num_bits == 3
+
+
+class TestCalibrationCacheKeys:
+    def test_uniform_and_calibrated_runs_never_collide(self):
+        from repro.calibration import synthetic_snapshot
+        from repro.engine.hashing import noise_fingerprint, sample_key
+
+        device = ibm_paris()
+        circuit = bernstein_vazirani("1011")
+        uniform = device.noise_model
+        calibrated = uniform.with_calibration(synthetic_snapshot(device, seed=1, spread=0.3))
+        assert noise_fingerprint(uniform) != noise_fingerprint(calibrated)
+        uniform_key = sample_key(circuit, uniform, 1024, "bitflip", (0, 0))
+        calibrated_key = sample_key(circuit, calibrated, 1024, "bitflip", (0, 0))
+        assert uniform_key != calibrated_key
+
+    def test_different_snapshots_get_different_keys(self):
+        from repro.calibration import synthetic_snapshot
+        from repro.engine.hashing import noise_fingerprint
+
+        device = ibm_paris()
+        a = device.noise_model.with_calibration(synthetic_snapshot(device, seed=1, spread=0.3))
+        b = device.noise_model.with_calibration(synthetic_snapshot(device, seed=2, spread=0.3))
+        drifted = device.noise_model.with_calibration(
+            synthetic_snapshot(device, seed=1, spread=0.3).drifted(2.0)
+        )
+        assert len({noise_fingerprint(a), noise_fingerprint(b), noise_fingerprint(drifted)}) == 3
+
+    def test_sample_key_pins_seed_entropy(self):
+        from repro.engine.hashing import sample_key
+
+        device = ibm_paris()
+        circuit = bernstein_vazirani("1011")
+        base = sample_key(circuit, device.noise_model, 1024, "bitflip", (0, 0))
+        assert base == sample_key(circuit, device.noise_model, 1024, "bitflip", (0, 0))
+        assert base != sample_key(circuit, device.noise_model, 1024, "bitflip", (0, 1))
+        assert base != sample_key(circuit, device.noise_model, 2048, "bitflip", (0, 0))
+        assert base != sample_key(circuit, device.noise_model, 1024, "trajectory", (0, 0))
+
+
+class TestSampleCache:
+    def test_second_run_hits_the_sample_tier(self):
+        engine = ExecutionEngine()
+        first = engine.run(_bv_jobs(), seed=1)
+        assert engine.last_run_stats.sample_cache_hits == 0
+        second = engine.run(_bv_jobs(), seed=1)
+        assert engine.last_run_stats.sample_cache_hits == len(second)
+        for before, after in zip(first, second):
+            assert before.noisy.counts() == after.noisy.counts()
+            assert after.sample_cache_hit and after.sample_seconds == 0.0
+
+    def test_different_seed_misses_the_sample_tier(self):
+        engine = ExecutionEngine()
+        engine.run(_bv_jobs(), seed=1)
+        results = engine.run(_bv_jobs(), seed=2)
+        assert engine.last_run_stats.sample_cache_hits == 0
+        assert all(not result.sample_cache_hit for result in results)
+
+    def test_cached_samples_match_an_uncached_engine(self):
+        shared = ExecutionEngine()
+        shared.run(_bv_jobs(), seed=1)
+        warm = shared.run(_bv_jobs(), seed=1)
+        cold = ExecutionEngine().run(_bv_jobs(), seed=1)
+        for cached, fresh in zip(warm, cold):
+            assert cached.noisy.counts() == fresh.noisy.counts()
+
+
+class TestResultPermutationAndExecutedCircuit:
+    def test_transpiled_result_exposes_permutation_and_executed_circuit(self):
+        device = ibm_paris()
+        job = CircuitJob(
+            job_id="routed",
+            circuit=bernstein_vazirani("1" * 8),
+            shots=256,
+            noise_model=device.noise_model,
+            coupling_map=device.coupling_map,
+            basis_gates=device.basis_gates,
+        )
+        result = ExecutionEngine().run_single(job, seed=0)
+        assert result.measurement_permutation is not None
+        assert sorted(result.measurement_permutation) == list(range(8))
+        # Routing SWAPs make the executed circuit strictly heavier than the
+        # logical one — this is what calibration-aware consumers must see.
+        assert result.executed_circuit is not None
+        assert result.executed_circuit.num_two_qubit_gates() > job.circuit.num_two_qubit_gates()
+
+    def test_untranspiled_result_has_no_permutation(self):
+        device = ibm_paris()
+        job = CircuitJob(
+            job_id="logical",
+            circuit=bernstein_vazirani("101"),
+            shots=256,
+            noise_model=device.noise_model,
+        )
+        result = ExecutionEngine().run_single(job, seed=0)
+        assert result.measurement_permutation is None
+        assert result.executed_circuit is job.circuit

@@ -132,3 +132,95 @@ class TestNoiseModel:
     def test_scaled_rejects_negative(self):
         with pytest.raises(NoiseModelError):
             NoiseModel().scaled(-1.0)
+
+
+class TestCalibratedNoiseModel:
+    """Per-qubit/per-edge behaviour when a CalibrationSnapshot is attached."""
+
+    @pytest.fixture
+    def circuit(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2).rz(0.3, 2)
+        return circuit
+
+    @pytest.fixture
+    def calibrated(self):
+        from repro.calibration import synthetic_snapshot
+        from repro.quantum.device import ibm_paris
+
+        device = ibm_paris()
+        snapshot = synthetic_snapshot(device, seed=9, spread=0.5)
+        return device.noise_model.with_calibration(snapshot)
+
+    def test_with_calibration_round_trip(self, calibrated):
+        assert calibrated.is_calibrated
+        assert not calibrated.with_calibration(None).is_calibrated
+
+    def test_gate_error_reads_per_edge_and_per_qubit_rates(self, calibrated):
+        snapshot = calibrated.calibration
+        assert calibrated.gate_error(Instruction("cx", (0, 1))) == snapshot.edge_error(0, 1)
+        assert calibrated.gate_error(Instruction("h", (2,))) == snapshot.single_qubit_error[2]
+
+    def test_readout_flip_probabilities_are_heterogeneous(self, calibrated):
+        p10, p01 = calibrated.readout_flip_probabilities(5)
+        assert len(set(p10.tolist())) > 1
+        assert np.all(p10 == calibrated.calibration.p10[:5])
+        assert np.all(p01 == calibrated.calibration.p01[:5])
+
+    def test_accumulated_bitflips_differ_from_uniform(self, calibrated, circuit):
+        from repro.quantum.device import ibm_paris
+
+        uniform = ibm_paris().noise_model.accumulated_bitflip_probabilities(circuit)
+        heterogeneous = calibrated.accumulated_bitflip_probabilities(circuit)
+        assert heterogeneous.shape == uniform.shape
+        assert not np.allclose(uniform, heterogeneous)
+
+    def test_uniform_snapshot_matches_scalar_model(self, circuit):
+        from repro.calibration import uniform_snapshot
+        from repro.quantum.device import ibm_paris
+
+        device = ibm_paris()
+        flat = device.noise_model.with_calibration(uniform_snapshot(device))
+        assert np.allclose(
+            flat.accumulated_bitflip_probabilities(circuit),
+            device.noise_model.accumulated_bitflip_probabilities(circuit),
+        )
+        assert flat.scramble_probability(circuit) == pytest.approx(
+            device.noise_model.scramble_probability(circuit)
+        )
+
+    def test_scaled_scales_arrays_with_per_field_cap(self, calibrated):
+        scaled = calibrated.scaled(100.0)
+        assert np.all(scaled.calibration.p01 <= 1.0)
+        assert np.any(scaled.calibration.p01 == 1.0)
+        small = calibrated.scaled(0.5)
+        assert np.allclose(small.calibration.two_qubit_error,
+                           calibrated.calibration.two_qubit_error * 0.5)
+
+    def test_scaled_factor_zero_equals_noiseless(self, calibrated, circuit):
+        zero = calibrated.scaled(0.0)
+        noiseless = NoiseModel.noiseless()
+        assert np.array_equal(
+            zero.accumulated_bitflip_probabilities(circuit),
+            noiseless.accumulated_bitflip_probabilities(circuit),
+        )
+        p10, p01 = zero.readout_flip_probabilities(3)
+        assert np.all(p10 == 0.0) and np.all(p01 == 0.0)
+        assert zero.scramble_probability(circuit) == 0.0
+        assert zero.sample_error_instructions(circuit, np.random.default_rng(0)) == []
+
+    def test_width_mismatch_raises_clearly(self, calibrated):
+        wide = QuantumCircuit(calibrated.calibration.num_qubits + 1)
+        wide.h(0)
+        with pytest.raises(NoiseModelError, match="ibm-paris"):
+            calibrated.accumulated_bitflip_probabilities(wide)
+        with pytest.raises(NoiseModelError):
+            calibrated.readout_flip_probabilities(calibrated.calibration.num_qubits + 1)
+
+    def test_trajectory_errors_target_valid_positions(self, calibrated, circuit):
+        scaled = calibrated.scaled(20.0)
+        errors = scaled.sample_error_instructions(circuit, np.random.default_rng(0))
+        assert errors
+        for position, instruction in errors:
+            assert 0 <= position < len(circuit)
+            assert instruction.name in ("x", "y", "z")

@@ -158,3 +158,46 @@ class TestSubprocessJsonArtifact:
         assert payload["name"] == "figure1a_bv_histogram"
         assert payload["rows"] and payload["summary"]
         assert payload["meta"]["engine"]["num_jobs"] == 1
+
+
+class TestCalibrationSubcommands:
+    def test_devices_table(self, capsys):
+        assert main(["devices"]) == 0
+        output = capsys.readouterr().out
+        assert "ibm-paris" in output and "google-sycamore" in output
+        assert "2q_error" in output
+
+    def test_scenarios_table(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        assert "heavy-hex-12-spread" in output
+        assert "drift_time" in output
+
+    def test_scenarios_json(self, capsys):
+        assert main(["scenarios", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "scenarios"
+        assert payload["summary"]["num_scenarios"] >= 12
+        names = {row["name"] for row in payload["rows"]}
+        assert "sycamore-12-drifted" in names
+
+    def test_devices_json_to_file(self, tmp_path, capsys):
+        out = tmp_path / "devices.json"
+        assert main(["devices", "--format", "json", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["num_devices"] == 4.0
+
+    def test_list_mentions_subcommands(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "scenarios" in output and "devices" in output and "scenario-sweep" in output
+
+    def test_scenario_sweep_registered(self):
+        assert "scenario-sweep" in EXPERIMENTS
+
+    def test_scenario_sweep_json(self, capsys):
+        assert main(["scenario-sweep", "--qubits", "5", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "scenario_sweep"
+        assert payload["summary"]["num_scenarios"] >= 12
+        assert payload["meta"]["engine"]["num_jobs"] == len(payload["rows"])
