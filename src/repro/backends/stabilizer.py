@@ -1,0 +1,386 @@
+"""Tableau-based stabilizer simulation over packed uint64 words.
+
+Implements the Aaronson–Gottesman CHP formalism: an ``n``-qubit stabilizer
+state is a ``2n × 2n`` binary tableau (``n`` destabilizer rows followed by
+``n`` stabilizer rows) plus a sign bit per row.  Rows are stored *packed* —
+the X and Z blocks are ``(2n, ceil(n/64))`` uint64 arrays in the same
+MSB-first, right-aligned layout as :func:`repro.core.bitstring.pack_bit_matrix`
+— so every gate update and every row product is word-level bit arithmetic
+with :func:`numpy.bitwise_count` popcounts, never per-qubit Python loops over
+rows.
+
+Cost: gates are O(n/64) machine words per row, i.e. O(n²/64) per gate;
+measurement adds a rank-style sweep.  A 127-qubit BV circuit simulates in
+milliseconds where the dense statevector backend stops at 24 qubits.
+
+The measured distribution of a stabilizer state is uniform over an affine
+subspace of ``{0,1}^n``: Gaussian elimination on the stabilizer X-block
+(with phase-correct row products) isolates the pure-Z stabilizers, whose
+signs give a GF(2) linear system for the support.  The support is enumerated
+only when its dimension is small enough (:attr:`StabilizerState.max_free_bits`
+— BV has dimension 0, GHZ dimension 1), packed directly into a
+:class:`~repro.core.bitstring.PackedOutcomes` and returned as a
+:class:`~repro.core.distribution.Distribution` in ascending outcome order —
+the same support order the statevector backend produces, which is what keeps
+the two backends' downstream sampling streams aligned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.clifford import first_non_clifford, lower_to_primitives
+from repro.core.bitstring import PackedOutcomes, pack_bit_matrix, unpack_bit_matrix
+from repro.core.distribution import Distribution
+from repro.exceptions import BackendError
+from repro.quantum.circuit import QuantumCircuit
+
+__all__ = ["StabilizerState", "simulate_stabilizer", "stabilizer_distribution"]
+
+_DEFAULT_MAX_FREE_BITS = 14
+_MAX_TABLEAU_QUBITS = 4096
+
+
+def _column_location(qubit: int, num_qubits: int) -> tuple[int, np.uint64]:
+    """Word index and MSB-first mask of a bit column in the packed layout.
+
+    Matches :func:`repro.core.bitstring.pack_bit_matrix`: word ``w`` holds
+    columns ``[64w, 64w+64)`` MSB-first; only the final partial word is
+    right-aligned (zero padding on its high bits).
+    """
+    word = qubit // 64
+    columns_in_word = min(64, num_qubits - 64 * word)
+    pad = 64 - columns_in_word
+    return word, np.uint64(1 << (63 - (pad + qubit % 64)))
+
+
+class StabilizerState:
+    """An ``n``-qubit stabilizer state as a packed Aaronson–Gottesman tableau.
+
+    Rows ``0..n-1`` are destabilizers, rows ``n..2n-1`` stabilizers.  The
+    initial state is ``|0…0⟩``: destabilizer ``i`` is ``X_i``, stabilizer
+    ``i`` is ``Z_i``, all signs positive.
+    """
+
+    def __init__(self, num_qubits: int, max_free_bits: int = _DEFAULT_MAX_FREE_BITS) -> None:
+        if num_qubits <= 0:
+            raise BackendError(f"num_qubits must be positive, got {num_qubits}")
+        if num_qubits > _MAX_TABLEAU_QUBITS:
+            raise BackendError(
+                f"stabilizer simulation limited to {_MAX_TABLEAU_QUBITS} qubits, got {num_qubits}"
+            )
+        self.num_qubits = num_qubits
+        self.max_free_bits = max_free_bits
+        self._num_words = (num_qubits + 63) // 64
+        rows = 2 * num_qubits
+        self.x = np.zeros((rows, self._num_words), dtype=np.uint64)
+        self.z = np.zeros((rows, self._num_words), dtype=np.uint64)
+        self.r = np.zeros(rows, dtype=np.uint8)
+        for qubit in range(num_qubits):
+            word, mask = self._locate(qubit)
+            self.x[qubit, word] |= mask
+            self.z[num_qubits + qubit, word] |= mask
+
+    # ------------------------------------------------------------------
+    # Packed-bit helpers
+    # ------------------------------------------------------------------
+    def _locate(self, qubit: int) -> tuple[int, np.uint64]:
+        """Word index and MSB-first mask of a qubit column (pack_bit_matrix layout)."""
+        if not 0 <= qubit < self.num_qubits:
+            raise BackendError(f"qubit {qubit} out of range for {self.num_qubits} qubits")
+        return _column_location(qubit, self.num_qubits)
+
+    def _xbit(self, qubit: int) -> np.ndarray:
+        word, mask = self._locate(qubit)
+        return (self.x[:, word] & mask) != 0
+
+    def _zbit(self, qubit: int) -> np.ndarray:
+        word, mask = self._locate(qubit)
+        return (self.z[:, word] & mask) != 0
+
+    # ------------------------------------------------------------------
+    # Primitive gates (vectorised over all 2n rows)
+    # ------------------------------------------------------------------
+    def h(self, qubit: int) -> None:
+        """Hadamard: swap the X/Z columns, flip signs where both bits are set."""
+        word, mask = self._locate(qubit)
+        xcol = self.x[:, word] & mask
+        zcol = self.z[:, word] & mask
+        self.r ^= ((xcol != 0) & (zcol != 0)).astype(np.uint8)
+        self.x[:, word] ^= xcol ^ zcol
+        self.z[:, word] ^= xcol ^ zcol
+
+    def s(self, qubit: int) -> None:
+        """Phase gate: Z-column ^= X-column, flip signs where both bits are set."""
+        word, mask = self._locate(qubit)
+        xcol = self.x[:, word] & mask
+        zcol = self.z[:, word] & mask
+        self.r ^= ((xcol != 0) & (zcol != 0)).astype(np.uint8)
+        self.z[:, word] ^= xcol
+
+    def x_gate(self, qubit: int) -> None:
+        """Pauli X: flip the sign of rows with a Z component on the qubit."""
+        self.r ^= self._zbit(qubit).astype(np.uint8)
+
+    def z_gate(self, qubit: int) -> None:
+        """Pauli Z: flip the sign of rows with an X component on the qubit."""
+        self.r ^= self._xbit(qubit).astype(np.uint8)
+
+    def y_gate(self, qubit: int) -> None:
+        """Pauli Y: flip the sign of rows anti-commuting with Y on the qubit."""
+        self.r ^= (self._xbit(qubit) ^ self._zbit(qubit)).astype(np.uint8)
+
+    def cx(self, control: int, target: int) -> None:
+        """CNOT with the Aaronson–Gottesman sign rule."""
+        if control == target:
+            raise BackendError("cx control and target must differ")
+        cword, cmask = self._locate(control)
+        tword, tmask = self._locate(target)
+        xc = (self.x[:, cword] & cmask) != 0
+        zc = (self.z[:, cword] & cmask) != 0
+        xt = (self.x[:, tword] & tmask) != 0
+        zt = (self.z[:, tword] & tmask) != 0
+        self.r ^= (xc & zt & ~(xt ^ zc)).astype(np.uint8)
+        # x_target ^= x_control ; z_control ^= z_target
+        self.x[:, tword] ^= np.where(xc, tmask, np.uint64(0))
+        self.z[:, cword] ^= np.where(zt, cmask, np.uint64(0))
+
+    _PRIMITIVES = {"h": h, "s": s, "x": x_gate, "y": y_gate, "z": z_gate, "cx": cx}
+
+    # ------------------------------------------------------------------
+    # Circuit application
+    # ------------------------------------------------------------------
+    def apply_circuit(self, circuit: QuantumCircuit) -> None:
+        """Apply every instruction of a Clifford circuit."""
+        if circuit.num_qubits != self.num_qubits:
+            raise BackendError("circuit and state have different qubit counts")
+        offending = first_non_clifford(circuit)
+        if offending is not None:
+            raise BackendError(
+                f"circuit {circuit.name!r} contains non-Clifford gate "
+                f"{offending.name!r}{offending.params or ''} on qubits {offending.qubits}"
+            )
+        for instruction in circuit.instructions:
+            for primitive in lower_to_primitives(instruction):
+                self._PRIMITIVES[primitive[0]](self, *primitive[1:])
+
+    # ------------------------------------------------------------------
+    # Row products (Aaronson–Gottesman "rowsum")
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _phase_exponent(
+        xi: np.ndarray, zi: np.ndarray, xh: np.ndarray, zh: np.ndarray
+    ) -> np.ndarray:
+        """Σ_j g(x_i, z_i, x_h, z_h) mod 4 for each target row ``h``.
+
+        ``g`` is the exponent of ``i`` produced by multiplying the Paulis at
+        one qubit position.  The six non-zero cases reduce to two popcounts of
+        word-level boolean combinations (every term requires a set bit, so
+        zero padding columns never contribute).
+        """
+        plus = (xi & ~zi & xh & zh) | (xi & zi & ~xh & zh) | (~xi & zi & xh & ~zh)
+        minus = (xi & ~zi & ~xh & zh) | (xi & zi & xh & ~zh) | (~xi & zi & xh & zh)
+        counts = np.bitwise_count(plus).sum(axis=-1).astype(np.int64)
+        counts -= np.bitwise_count(minus).sum(axis=-1).astype(np.int64)
+        return counts % 4
+
+    def _rowsum_into(self, targets: np.ndarray, source: int) -> None:
+        """Multiply row ``source`` into every row in ``targets`` (phase-correct)."""
+        if targets.size == 0:
+            return
+        xi = self.x[source][None, :]
+        zi = self.z[source][None, :]
+        exponent = self._phase_exponent(xi, zi, self.x[targets], self.z[targets])
+        total = (
+            2 * self.r[targets].astype(np.int64) + 2 * int(self.r[source]) + exponent
+        ) % 4
+        self.r[targets] = (total // 2).astype(np.uint8)
+        self.x[targets] ^= xi
+        self.z[targets] ^= zi
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        qubit: int,
+        rng: np.random.Generator | None = None,
+        forced: int | None = None,
+    ) -> tuple[int, bool]:
+        """Measure one qubit in the computational basis.
+
+        Returns ``(outcome, was_random)``.  A random outcome is drawn from
+        ``rng`` unless ``forced`` pins it.  When the outcome is genuinely
+        random and neither ``rng`` nor ``forced`` is given, this raises
+        instead of silently minting a fresh unseeded generator — every
+        sampling path in this package derives from explicit seed streams,
+        and an untraceable nondeterministic fallback would break that
+        contract.
+        """
+        n = self.num_qubits
+        word, mask = self._locate(qubit)
+        xcol = (self.x[:, word] & mask) != 0
+        stabilizer_hits = np.nonzero(xcol[n:])[0]
+        if stabilizer_hits.size:
+            pivot = int(stabilizer_hits[0]) + n
+            others = np.nonzero(xcol)[0]
+            others = others[others != pivot]
+            self._rowsum_into(others, pivot)
+            # The destabilizer remembers the pre-measurement stabilizer.
+            self.x[pivot - n] = self.x[pivot]
+            self.z[pivot - n] = self.z[pivot]
+            self.r[pivot - n] = self.r[pivot]
+            if forced is not None:
+                outcome = int(forced) & 1
+            elif rng is not None:
+                outcome = int(rng.integers(0, 2))
+            else:
+                raise BackendError(
+                    f"measurement of qubit {qubit} is random; pass rng= or forced= "
+                    f"(refusing to draw from an unseeded generator)"
+                )
+            self.x[pivot] = 0
+            self.z[pivot] = 0
+            self.z[pivot, word] = mask
+            self.r[pivot] = outcome
+            return outcome, True
+        # Deterministic: accumulate the stabilizers flagged by destabilizers
+        # into a scratch row; its sign is the outcome.
+        scratch_x = np.zeros(self._num_words, dtype=np.uint64)
+        scratch_z = np.zeros(self._num_words, dtype=np.uint64)
+        scratch_r = 0
+        for row in np.nonzero(xcol[:n])[0]:
+            source = int(row) + n
+            exponent = int(
+                self._phase_exponent(
+                    self.x[source][None, :],
+                    self.z[source][None, :],
+                    scratch_x[None, :],
+                    scratch_z[None, :],
+                )[0]
+            )
+            scratch_r = (2 * scratch_r + 2 * int(self.r[source]) + exponent) % 4 // 2
+            scratch_x ^= self.x[source]
+            scratch_z ^= self.z[source]
+        return int(scratch_r), False
+
+    # ------------------------------------------------------------------
+    # Full-register distribution
+    # ------------------------------------------------------------------
+    def _pure_z_constraints(self) -> tuple[np.ndarray, np.ndarray]:
+        """Pure-Z stabilizer generators as a GF(2) system ``C·x = b``.
+
+        Gaussian elimination on the stabilizer X-block (with phase-correct
+        row products) leaves the rows without an X pivot purely in Z; each
+        such row ``Z(v)`` with sign ``(-1)^b`` constrains every outcome to
+        ``v·x ≡ b (mod 2)``.  Returns ``(C, b)`` as a uint8 bit matrix and
+        vector (possibly empty).
+        """
+        n = self.num_qubits
+        x = self.x[n:].copy()
+        z = self.z[n:].copy()
+        r = self.r[n:].astype(np.int64)
+        pivoted = np.zeros(n, dtype=bool)
+        for qubit in range(n):
+            word, mask = _column_location(qubit, n)
+            hits = (x[:, word] & mask) != 0
+            candidates = np.nonzero(hits & ~pivoted)[0]
+            if candidates.size == 0:
+                continue
+            pivot = int(candidates[0])
+            pivoted[pivot] = True
+            targets = np.nonzero(hits)[0]
+            targets = targets[targets != pivot]
+            if targets.size:
+                exponent = self._phase_exponent(
+                    x[pivot][None, :], z[pivot][None, :], x[targets], z[targets]
+                )
+                total = (2 * r[targets] + 2 * r[pivot] + exponent) % 4
+                r[targets] = total // 2
+                x[targets] ^= x[pivot][None, :]
+                z[targets] ^= z[pivot][None, :]
+        pure = np.nonzero(~pivoted)[0]
+        constraints = unpack_bit_matrix(z[pure], n) if pure.size else np.zeros((0, n), np.uint8)
+        return constraints, r[pure].astype(np.uint8)
+
+    def support_dimension(self) -> int:
+        """Dimension ``k`` of the measurement support (``2^k`` outcomes).
+
+        Costs one Gaussian elimination over the packed stabilizer rows — no
+        enumeration — so callers can decide whether
+        :meth:`measurement_distribution` is affordable before asking for it.
+        """
+        constraints, _ = self._pure_z_constraints()
+        return self.num_qubits - constraints.shape[0]
+
+    def measurement_distribution(self) -> Distribution:
+        """Exact Born-rule distribution of measuring every qubit.
+
+        The support is the solution set of the pure-Z constraint system — an
+        affine subspace enumerated only while its dimension stays within
+        :attr:`max_free_bits` — with uniform probability ``2^-k`` per
+        outcome, returned in ascending outcome order.
+        """
+        n = self.num_qubits
+        constraints, rhs = self._pure_z_constraints()
+        # Reduce [C|b] to RREF over GF(2).
+        augmented = np.concatenate([constraints, rhs[:, None]], axis=1).astype(np.uint8)
+        pivot_columns: list[int] = []
+        row = 0
+        for column in range(n):
+            hits = np.nonzero(augmented[row:, column])[0]
+            if hits.size == 0:
+                continue
+            pivot = row + int(hits[0])
+            if pivot != row:
+                augmented[[row, pivot]] = augmented[[pivot, row]]
+            eliminate = np.nonzero(augmented[:, column])[0]
+            eliminate = eliminate[eliminate != row]
+            augmented[eliminate] ^= augmented[row][None, :]
+            pivot_columns.append(column)
+            row += 1
+            if row == augmented.shape[0]:
+                break
+        pivot_set = set(pivot_columns)
+        free_columns = [c for c in range(n) if c not in pivot_set]
+        k = len(free_columns)
+        if k > self.max_free_bits:
+            raise BackendError(
+                f"stabilizer support has 2**{k} outcomes, above the enumeration "
+                f"limit of 2**{self.max_free_bits}; raise max_free_bits or use a "
+                f"sampling backend"
+            )
+        # Particular solution (free bits = 0) and one basis vector per free bit.
+        base = np.zeros(n, dtype=np.uint8)
+        for index, column in enumerate(pivot_columns):
+            base[column] = augmented[index, n]
+        basis = np.zeros((k, n), dtype=np.uint8)
+        for which, column in enumerate(free_columns):
+            basis[which, column] = 1
+            for index, pivot_column in enumerate(pivot_columns):
+                basis[which, pivot_column] = augmented[index, column]
+        assignments = (
+            (np.arange(1 << k, dtype=np.int64)[:, None] >> np.arange(k)[None, :]) & 1
+        ).astype(np.uint8)
+        bits = (base[None, :] + assignments @ basis) % 2
+        words = pack_bit_matrix(bits.astype(np.uint8))
+        order = np.lexsort(tuple(words[:, w] for w in range(words.shape[1] - 1, -1, -1)))
+        packed = PackedOutcomes(words[order], n)
+        probabilities = np.full(1 << k, 1.0 / (1 << k))
+        return Distribution.from_packed(packed, weights=probabilities)
+
+
+def simulate_stabilizer(
+    circuit: QuantumCircuit, max_free_bits: int = _DEFAULT_MAX_FREE_BITS
+) -> StabilizerState:
+    """Run a Clifford circuit on ``|0…0⟩`` and return the final tableau state."""
+    state = StabilizerState(circuit.num_qubits, max_free_bits=max_free_bits)
+    state.apply_circuit(circuit)
+    return state
+
+
+def stabilizer_distribution(
+    circuit: QuantumCircuit, max_free_bits: int = _DEFAULT_MAX_FREE_BITS
+) -> Distribution:
+    """Noise-free measurement distribution of a Clifford circuit."""
+    return simulate_stabilizer(circuit, max_free_bits=max_free_bits).measurement_distribution()

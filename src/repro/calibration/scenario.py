@@ -133,6 +133,18 @@ class Scenario:
         with the same topology get different bad qubits).
     description:
         One-line human description for the CLI listing.
+    workload:
+        Benchmark family ``scenario-sweep`` runs on this machine: ``"bv"``
+        (Bernstein–Vazirani, the default) or ``"ghz"``.
+    workload_qubits:
+        Fixed circuit width for the workload; ``None`` (default) lets the
+        study config choose.  Large-width entries pin this to the device
+        size, so the benchmark actually exercises the whole machine.
+    tier:
+        ``"standard"`` entries form the default sweep; ``"large"`` entries
+        are device-scale Clifford workloads that only the stabilizer
+        backend can simulate and must be selected explicitly (keeping the
+        default sweep's row table bit-identical across releases).
     """
 
     name: str
@@ -143,6 +155,9 @@ class Scenario:
     shots: int = 8192
     calibration_seed: int = 0
     description: str = ""
+    workload: str = "bv"
+    workload_qubits: int | None = None
+    tier: str = "standard"
 
     def __post_init__(self) -> None:
         if self.topology not in _FAMILY_MEDIANS:
@@ -155,6 +170,18 @@ class Scenario:
             raise DeviceError(f"scenario {self.name!r}: spread and drift_time must be >= 0")
         if self.shots <= 0:
             raise DeviceError(f"scenario {self.name!r}: shots must be positive")
+        if self.workload not in ("bv", "ghz"):
+            raise DeviceError(
+                f"scenario {self.name!r}: unknown workload {self.workload!r}; use 'bv' or 'ghz'"
+            )
+        if self.workload_qubits is not None and not 2 <= self.workload_qubits <= self.num_qubits:
+            raise DeviceError(
+                f"scenario {self.name!r}: workload_qubits must be in [2, {self.num_qubits}]"
+            )
+        if self.tier not in ("standard", "large"):
+            raise DeviceError(
+                f"scenario {self.name!r}: unknown tier {self.tier!r}; use 'standard' or 'large'"
+            )
 
     @property
     def medians(self) -> NoiseModel:
@@ -207,6 +234,8 @@ class Scenario:
             "spread": self.spread,
             "drift_time": self.drift_time,
             "shots": self.shots,
+            "workload": self.workload,
+            "tier": self.tier,
             "description": self.description,
         }
 
@@ -241,6 +270,18 @@ def _build_registry() -> dict[str, Scenario]:
                  calibration_seed=502, description="Sycamore-like grid, heavy spread"),
         Scenario("sycamore-12-drifted", "sycamore", 12, spread=0.35, drift_time=12.0, shots=8192,
                  calibration_seed=503, description="Sycamore-like grid, spread drifted 12 units"),
+        # ---- Large-width tier: device-scale Clifford workloads that only the
+        # stabilizer backend can simulate (statevector stops at 24 qubits).
+        # Excluded from the default sweep so its row table stays bit-identical.
+        Scenario("linear-50-bv", "linear", 50, spread=0.3, shots=2048,
+                 calibration_seed=105, workload="bv", workload_qubits=50, tier="large",
+                 description="50-qubit chain running full-width BV (stabilizer only)"),
+        Scenario("heavy-hex-127-bv", "heavy-hex", 127, spread=0.3, shots=2048,
+                 calibration_seed=404, workload="bv", workload_qubits=127, tier="large",
+                 description="Eagle-scale heavy-hex running full-width BV (stabilizer only)"),
+        Scenario("sycamore-53-ghz", "sycamore", 53, spread=0.35, shots=2048,
+                 calibration_seed=504, workload="ghz", workload_qubits=53, tier="large",
+                 description="Sycamore-scale grid running full-width GHZ (stabilizer only)"),
     ]
     return {scenario.name: scenario for scenario in scenarios}
 
@@ -248,21 +289,32 @@ def _build_registry() -> dict[str, Scenario]:
 _REGISTRY: dict[str, Scenario] = _build_registry()
 
 
-def available_scenarios() -> list[str]:
-    """Sorted names of every registered scenario."""
-    return sorted(_REGISTRY)
+def available_scenarios(include_large: bool = False) -> list[str]:
+    """Sorted names of the registered scenarios (standard tier by default)."""
+    return [scenario.name for scenario in all_scenarios(include_large=include_large)]
 
 
-def all_scenarios() -> list[Scenario]:
-    """Every registered scenario, sorted by name."""
-    return [_REGISTRY[name] for name in available_scenarios()]
+def all_scenarios(include_large: bool = False) -> list[Scenario]:
+    """The registered scenarios, sorted by name.
+
+    The default excludes the ``"large"`` tier so the zoo-wide sweeps (and
+    their seed-to-row mapping) match the historical registry exactly; pass
+    ``include_large=True`` for the full registry (the CLI listing does).
+    """
+    return [
+        _REGISTRY[name]
+        for name in sorted(_REGISTRY)
+        if include_large or _REGISTRY[name].tier == "standard"
+    ]
 
 
 def get_scenario(name: str) -> Scenario:
-    """Look up a scenario by registry name."""
+    """Look up a scenario by registry name (any tier)."""
     key = name.lower()
     if key not in _REGISTRY:
-        raise DeviceError(f"unknown scenario {name!r}; available: {available_scenarios()}")
+        raise DeviceError(
+            f"unknown scenario {name!r}; available: {available_scenarios(include_large=True)}"
+        )
     return _REGISTRY[key]
 
 
@@ -276,6 +328,10 @@ def scenario_device(name: str) -> DeviceProfile:
     return _cached_device(get_scenario(name).name)
 
 
-def scenario_rows() -> list[dict[str, object]]:
-    """The zoo as flat rows for the ``scenarios`` CLI subcommand."""
-    return [scenario.as_row() for scenario in all_scenarios()]
+def scenario_rows(include_large: bool = True) -> list[dict[str, object]]:
+    """The zoo as flat rows for the ``scenarios`` CLI subcommand.
+
+    Unlike the sweep-facing :func:`all_scenarios`, the listing shows the
+    large tier by default — discoverability beats sweep stability here.
+    """
+    return [scenario.as_row() for scenario in all_scenarios(include_large=include_large)]

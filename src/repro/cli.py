@@ -10,7 +10,9 @@ Usage::
     python -m repro.cli fig8 --format json --out fig8.json
     python -m repro.cli devices         # built-in device profiles
     python -m repro.cli scenarios       # the calibration scenario zoo
+    python -m repro.cli backends        # registered simulation backends
     python -m repro.cli scenario-sweep --jobs 4 --format json
+    python -m repro.cli scenario-sweep --scenario heavy-hex-127-bv --backend stabilizer
 
 Every experiment runs its sweep through one shared
 :class:`~repro.engine.engine.ExecutionEngine`: ``--jobs`` fans the batch out
@@ -18,7 +20,10 @@ over worker processes (row tables are bit-identical for any worker count) and
 ``--cache-dir`` persists transpiled circuits and ideal distributions so
 re-running a figure skips every statevector simulation of the previous run.
 ``--format json`` emits the full report (rows, summary, engine metadata) as a
-machine-readable artifact, optionally written to ``--out``.
+machine-readable artifact, optionally written to ``--out``.  ``--backend``
+selects the ideal-simulation backend for backend-aware experiments
+(``scenario-sweep``): ``statevector`` (default), ``stabilizer`` (exact
+Clifford fast path, device-scale widths) or ``auto``.
 """
 
 from __future__ import annotations
@@ -69,6 +74,7 @@ __all__ = [
     "run_experiment",
     "devices_report",
     "scenarios_report",
+    "backends_report",
     "EXPERIMENTS",
     "SUBCOMMANDS",
 ]
@@ -189,9 +195,12 @@ def _headline(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentRe
 
 
 def _scenario_sweep(args: argparse.Namespace, engine: ExecutionEngine) -> ExperimentReport:
+    selected = getattr(args, "scenario", None)
     config = ScenarioStudyConfig(
         num_qubits=args.qubits or 8,
         keys_per_scenario=3 if args.scale == "full" else 2,
+        scenarios=tuple(selected) if selected else None,
+        backend=getattr(args, "backend", None) or "statevector",
     )
     return run_scenario_study(config, engine=engine)
 
@@ -244,6 +253,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workload family / variant selector (experiment-specific)")
     parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                         help="worker processes for the sweep (results are identical for any N)")
+    parser.add_argument("--backend", choices=("statevector", "stabilizer", "auto"), default=None,
+                        help="ideal-simulation backend for backend-aware experiments "
+                             "(scenario-sweep); 'stabilizer' or 'auto' unlock >24-qubit "
+                             "Clifford scenarios")
+    parser.add_argument("--scenario", action="append", default=None, metavar="NAME",
+                        help="restrict scenario-sweep to a named scenario (repeatable; "
+                             "see the 'scenarios' subcommand for the registry)")
     parser.add_argument("--cache-dir", type=str, default=None, metavar="PATH",
                         help="persist transpiles + ideal distributions across runs")
     parser.add_argument("--format", choices=("text", "json"), default="text", dest="format",
@@ -309,10 +325,26 @@ def scenarios_report() -> ExperimentReport:
     return report
 
 
+def backends_report() -> ExperimentReport:
+    """The simulation-backend registry as a report (``backends`` subcommand)."""
+    from repro.backends import backend_rows
+
+    rows = backend_rows()
+    report = ExperimentReport(name="backends", rows=rows)
+    report.summary["num_backends"] = float(sum(1 for row in rows if row["name"] != "auto"))
+    return report
+
+
+#: Experiments that consume the --backend / --scenario flags; every other
+#: experiment runs its pinned statevector sweep and must reject them loudly
+#: rather than silently ignore a requested backend.
+BACKEND_AWARE_EXPERIMENTS = frozenset({"scenario-sweep"})
+
 #: Informational subcommands: no engine, no sweep — just a registry table.
 SUBCOMMANDS = {
     "devices": ("Built-in device profiles (uniform noise medians)", devices_report),
     "scenarios": ("Calibration scenario zoo (topology x calibration x shots)", scenarios_report),
+    "backends": ("Simulation backends (statevector / stabilizer / auto dispatch)", backends_report),
 }
 
 
@@ -320,6 +352,11 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if (args.backend or args.scenario) and args.experiment not in BACKEND_AWARE_EXPERIMENTS:
+        parser.error(
+            f"--backend/--scenario only apply to {sorted(BACKEND_AWARE_EXPERIMENTS)}; "
+            f"{args.experiment!r} runs its pinned sweep and would silently ignore them"
+        )
     if args.experiment == "list":
         rows = [{"id": key, "description": description} for key, (description, _) in EXPERIMENTS.items()]
         rows += [{"id": key, "description": description} for key, (description, _) in SUBCOMMANDS.items()]

@@ -7,8 +7,11 @@ three phases, deduplicating shared work through the content-addressed
 1. **Transpile** — jobs that target a device shape are routed/decomposed
    once per unique ``(circuit, coupling map, basis gates)`` key.
 2. **Ideal simulation** — the noise-free distribution of each unique
-   *executed* circuit is computed once (this is the statevector simulation,
-   the dominant cost of every paper sweep).
+   *executed* circuit is computed once, through the job's resolved
+   :mod:`~repro.backends` backend (dense statevector by default — the
+   dominant cost of every paper sweep — or the stabilizer tableau for
+   Clifford circuits, which unlocks device-scale widths).  The resolved
+   backend is part of the cache key.
 3. **Sampling** — every job draws its noisy histogram with its own RNG.
    Histograms are cached under a key that includes the noise model's
    fingerprint (with any calibration snapshot) *and* the job's seed
@@ -43,14 +46,14 @@ from typing import Any
 
 import numpy as np
 
+from repro.backends import get_backend, resolve_backend
 from repro.core.distribution import Distribution
 from repro.engine.cache import ExecutionCache
-from repro.engine.hashing import ideal_key, sample_key, transpile_key
+from repro.engine.hashing import circuit_fingerprint, ideal_key, sample_key, transpile_key
 from repro.engine.jobs import CircuitJob, JobResult
-from repro.exceptions import EngineError
+from repro.exceptions import BackendError, EngineError
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.sampler import sample_bitflip_distribution, sample_trajectory_distribution
-from repro.quantum.statevector import simulate_statevector
 from repro.quantum.transpiler import transpile
 
 __all__ = ["ExecutionEngine", "EngineRunStats"]
@@ -75,6 +78,7 @@ class EngineRunStats:
     transpile_cache_hits: int = 0
     ideal_cache_hits: int = 0
     sample_cache_hits: int = 0
+    stabilizer_jobs: int = 0
     unique_transpiles_computed: int = 0
     unique_ideals_computed: int = 0
     prepare_seconds: float = 0.0
@@ -88,6 +92,7 @@ class EngineRunStats:
         self.transpile_cache_hits += other.transpile_cache_hits
         self.ideal_cache_hits += other.ideal_cache_hits
         self.sample_cache_hits += other.sample_cache_hits
+        self.stabilizer_jobs += other.stabilizer_jobs
         self.unique_transpiles_computed += other.unique_transpiles_computed
         self.unique_ideals_computed += other.unique_ideals_computed
         self.prepare_seconds += other.prepare_seconds
@@ -103,6 +108,7 @@ class EngineRunStats:
             "transpile_cache_hits": self.transpile_cache_hits,
             "ideal_cache_hits": self.ideal_cache_hits,
             "sample_cache_hits": self.sample_cache_hits,
+            "stabilizer_jobs": self.stabilizer_jobs,
             "unique_transpiles_computed": self.unique_transpiles_computed,
             "unique_ideals_computed": self.unique_ideals_computed,
             "prepare_seconds": self.prepare_seconds,
@@ -128,9 +134,10 @@ def _transpile_task(task: tuple) -> tuple[str, _TranspileArtifact, float]:
 
 
 def _ideal_task(task: tuple) -> tuple[str, Distribution, float]:
-    key, circuit = task
+    key, circuit, backend_name = task
+    backend = get_backend(backend_name)
     start = time.perf_counter()
-    ideal = simulate_statevector(circuit).measurement_distribution()
+    ideal = backend.ideal_distribution(circuit)
     return key, ideal, time.perf_counter() - start
 
 
@@ -302,25 +309,46 @@ class ExecutionEngine:
             transpile_seconds[key] = seconds
         stats.unique_transpiles_computed = len(to_transpile)
 
-        # ---- Phase 2: ideal distributions (once per unique executed circuit) ----
+        # ---- Phase 2: ideal distributions (once per unique executed circuit
+        # and resolved backend) ----
         executed_circuits: list[QuantumCircuit] = []
+        job_backends: list[str] = []
         job_ikeys: list[str] = []
         ideal_distributions: dict[str, Distribution] = {}
         ideal_owner: dict[str, int] = {}
         to_simulate: list[tuple] = []
-        tkey_ikeys: dict[str, str] = {}
+        tkey_ikeys: dict[tuple[str, str], str] = {}
+        resolved_backends: dict[tuple, str] = {}
         for index, job in enumerate(jobs):
             tkey = job_tkeys[index]
+            executed = job.circuit if tkey is None else transpile_artifacts[tkey].circuit
+            # Resolution happens on the *executed* circuit: routing/decomposition
+            # preserve Clifford-ness, but "auto" must judge what actually runs.
+            # Memoised per (executed-circuit content, requested backend):
+            # probing the stabilizer backend runs a full tableau pass, which
+            # duplicate jobs in a sweep must not repeat.  Transpiled jobs are
+            # already content-keyed by tkey; untranspiled ones hash the
+            # circuit (cheap next to any simulation).
+            rkey = (
+                tkey if tkey is not None else circuit_fingerprint(executed),
+                job.backend,
+            )
+            backend_name = resolved_backends.get(rkey)
+            if backend_name is None:
+                try:
+                    backend_name = resolve_backend(job.backend, executed).name
+                except BackendError as error:
+                    raise EngineError(f"job {job.job_id!r}: {error}") from error
+                resolved_backends[rkey] = backend_name
             if tkey is None:
-                executed = job.circuit
-                key = ideal_key(executed)
+                key = ideal_key(executed, backend=backend_name)
             else:
-                executed = transpile_artifacts[tkey].circuit
-                key = tkey_ikeys.get(tkey)
+                key = tkey_ikeys.get((tkey, backend_name))
                 if key is None:
-                    key = ideal_key(executed)
-                    tkey_ikeys[tkey] = key
+                    key = ideal_key(executed, backend=backend_name)
+                    tkey_ikeys[(tkey, backend_name)] = key
             executed_circuits.append(executed)
+            job_backends.append(backend_name)
             job_ikeys.append(key)
             if key in ideal_distributions or key in ideal_owner:
                 continue
@@ -329,7 +357,7 @@ class ExecutionEngine:
                 ideal_distributions[key] = cached
             else:
                 ideal_owner[key] = index
-                to_simulate.append((key, executed))
+                to_simulate.append((key, executed, backend_name))
         ideal_seconds: dict[str, float] = {}
         for key, ideal, seconds in self._map(pool, _ideal_task, to_simulate):
             self.cache.put("ideal", key, ideal)
@@ -347,7 +375,12 @@ class ExecutionEngine:
         sample_tasks: list[tuple] = []
         for index, job in enumerate(jobs):
             skey = sample_key(
-                executed_circuits[index], job.noise_model, job.shots, job.method, (seed, index)
+                executed_circuits[index],
+                job.noise_model,
+                job.shots,
+                job.method,
+                (seed, index),
+                backend=job_backends[index],
             )
             job_skeys.append(skey)
             cached = self.cache.get("sample", skey)
@@ -395,6 +428,7 @@ class ExecutionEngine:
             stats.transpile_cache_hits += 1 if transpile_hit else 0
             stats.ideal_cache_hits += 1 if ideal_hit else 0
             stats.sample_cache_hits += 1 if sample_hit else 0
+            stats.stabilizer_jobs += 1 if job_backends[index] == "stabilizer" else 0
             stats.prepare_seconds += prepare_seconds
             stats.sample_seconds += sample_seconds
             results.append(
@@ -415,6 +449,7 @@ class ExecutionEngine:
                     sample_cache_hit=sample_hit,
                     measurement_permutation=measurement_permutation,
                     executed_circuit=executed,
+                    backend=job_backends[index],
                 )
             )
         stats.wall_seconds = time.perf_counter() - wall_start

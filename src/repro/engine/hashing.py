@@ -71,8 +71,14 @@ def transpile_key(
     coupling_map: CouplingMap | None,
     basis_gates: tuple[str, ...] | None,
 ) -> str:
-    """Cache key of a transpilation request (circuit + target device shape)."""
-    digest = hashlib.sha256(b"repro-transpile-v1")
+    """Cache key of a transpilation request (circuit + target device shape).
+
+    v2: the basis decomposition of odd-quarter-turn diagonal gates changed
+    (single faithful ``rz`` instead of a halved-angle ZSXZSXZ split), so
+    pre-existing persistent-cache artifacts must not replay the old output —
+    a warm ``--cache-dir`` run has to match a cold one exactly.
+    """
+    digest = hashlib.sha256(b"repro-transpile-v2")
     _hash_circuit_into(digest, circuit)
     digest.update(coupling_fingerprint(coupling_map).encode("ascii"))
     if basis_gates is None:
@@ -82,10 +88,16 @@ def transpile_key(
     return digest.hexdigest()
 
 
-def ideal_key(circuit: QuantumCircuit) -> str:
-    """Cache key of a circuit's noise-free measurement distribution."""
-    digest = hashlib.sha256(b"repro-ideal-v1")
+def ideal_key(circuit: QuantumCircuit, backend: str = "statevector") -> str:
+    """Cache key of a circuit's noise-free measurement distribution.
+
+    The resolved simulation backend is part of the key: two backends produce
+    the same distribution up to float rounding, but not bit-identically, and
+    cached artifacts must reproduce exactly what an uncached run computes.
+    """
+    digest = hashlib.sha256(b"repro-ideal-v2")
     _hash_circuit_into(digest, circuit)
+    digest.update(("backend:" + backend).encode("utf-8"))
     return digest.hexdigest()
 
 
@@ -125,16 +137,20 @@ def sample_key(
     shots: int,
     method: str,
     entropy: tuple[int, ...],
+    backend: str = "statevector",
 ) -> str:
     """Cache key of one noisy sampling run.
 
     Sampling is deterministic given the executed circuit, the noise model,
-    the shot budget, the sampling method and the RNG seed entropy — the
-    engine derives every job's generator from ``(seed, batch index)``, so
-    including that entropy here makes cached histograms exactly the ones an
-    uncached run would draw, preserving worker-count bit-identity.
+    the shot budget, the sampling method, the RNG seed entropy *and* the
+    ideal-simulation backend (the sampler draws rows from the backend's
+    ideal support, whose float probabilities differ between backends at the
+    last ulp) — the engine derives every job's generator from ``(seed,
+    batch index)``, so including that entropy here makes cached histograms
+    exactly the ones an uncached run would draw, preserving worker-count
+    bit-identity.
     """
-    digest = hashlib.sha256(b"repro-sample-v1")
+    digest = hashlib.sha256(b"repro-sample-v2")
     _hash_circuit_into(digest, circuit)
     digest.update(noise_fingerprint(noise_model).encode("ascii"))
     digest.update(struct.pack("<q", shots))
@@ -143,4 +159,5 @@ def sample_key(
     digest.update(method_bytes)
     digest.update(struct.pack("<q", len(entropy)))
     digest.update(struct.pack(f"<{len(entropy)}q", *entropy))
+    digest.update(("backend:" + backend).encode("utf-8"))
     return digest.hexdigest()

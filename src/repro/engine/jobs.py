@@ -13,6 +13,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.backends import AUTO_BACKEND, available_backends, get_backend
 from repro.core.distribution import Distribution
 from repro.exceptions import DeviceError, EngineError
 from repro.quantum.circuit import QuantumCircuit
@@ -55,6 +56,12 @@ class CircuitJob:
     method:
         Sampling backend: ``"bitflip"`` (fast analytic) or ``"trajectory"``
         (Monte-Carlo Pauli trajectories).
+    backend:
+        Ideal-simulation backend: a registry name
+        (``"statevector"``/``"stabilizer"``) or ``"auto"``, which picks the
+        stabilizer fast path whenever the executed (post-transpile) circuit
+        is Clifford.  The default keeps the historical dense statevector,
+        bit-identical RNG streams included.
     metadata:
         Free-form study-level tags (device name, sweep coordinates, …),
         copied onto the :class:`JobResult`.
@@ -69,6 +76,7 @@ class CircuitJob:
     device: DeviceProfile | None = None
     map_to_logical: bool = True
     method: str = "bitflip"
+    backend: str = "statevector"
     metadata: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -80,6 +88,17 @@ class CircuitJob:
             raise EngineError(
                 f"job {self.job_id!r}: unknown sampling method {self.method!r}; "
                 f"expected one of {_SAMPLING_METHODS}"
+            )
+        if self.backend != AUTO_BACKEND and self.backend not in available_backends():
+            raise EngineError(
+                f"job {self.job_id!r}: unknown backend {self.backend!r}; "
+                f"expected one of {available_backends()} or {AUTO_BACKEND!r}"
+            )
+        if self.method == "trajectory" and self.backend != "statevector":
+            raise EngineError(
+                f"job {self.job_id!r}: the 'trajectory' sampling method re-simulates "
+                f"noisy statevectors and only supports backend='statevector', "
+                f"got {self.backend!r}"
             )
 
     @property
@@ -113,6 +132,16 @@ class CircuitJob:
                 f"but the calibration of device {calibration.device_name!r} covers only "
                 f"{calibration.num_qubits}"
             )
+        # Explicit backend choices fail on width here (transpilation never
+        # changes the register width); "auto" resolves on the executed
+        # circuit's gate set inside the engine's ideal phase.
+        if self.backend != AUTO_BACKEND:
+            limit = get_backend(self.backend).max_qubits()
+            if limit is not None and width > limit:
+                raise DeviceError(
+                    f"job {self.job_id!r}: circuit {self.circuit.name!r} needs {width} "
+                    f"qubits but the {self.backend!r} backend is limited to {limit}"
+                )
 
 
 @dataclass
@@ -151,6 +180,9 @@ class JobResult:
     #: decomposed when the job transpiled, the input circuit otherwise).
     #: Qubit indices are physical.
     executed_circuit: QuantumCircuit | None = None
+    #: Resolved ideal-simulation backend ("statevector" or "stabilizer"; an
+    #: ``"auto"`` job records what the dispatch actually picked).
+    backend: str = "statevector"
 
     def to_logical_order(self, per_physical_qubit: "np.ndarray") -> "np.ndarray":
         """Gather a per-physical-qubit array into the histograms' bit order.
@@ -170,6 +202,7 @@ class JobResult:
             "job_id": self.job_id,
             "num_qubits": self.num_qubits,
             "two_qubit_gates": self.two_qubit_gates,
+            "backend": self.backend,
             "transpile_cache_hit": self.transpile_cache_hit,
             "ideal_cache_hit": self.ideal_cache_hit,
             "sample_cache_hit": self.sample_cache_hit,

@@ -48,6 +48,14 @@ class EngineError(ReproError):
     """Raised when an execution-engine job batch or cache is misconfigured."""
 
 
+class BackendError(ReproError):
+    """Raised when a simulation backend cannot run a circuit.
+
+    Examples include unknown backend names, circuits wider than a backend's
+    limit, and non-Clifford gates handed to the stabilizer backend.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment is configured inconsistently."""
 

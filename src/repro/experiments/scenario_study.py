@@ -4,11 +4,19 @@ The paper's headline claim — Hamming reconstruction helps across machines
 with very different error characters — is exercised here on the calibration
 subsystem's scenario registry: every registered
 :class:`~repro.calibration.scenario.Scenario` (topology x calibration x
-shots) runs the same Bernstein–Vazirani workload through one shared
+shots) runs its workload (Bernstein–Vazirani by default, GHZ for scenarios
+that declare it) through one shared
 :class:`~repro.engine.engine.ExecutionEngine` batch, and per scenario the
 raw-histogram baseline, majority-vote bit inference, tensored readout
 mitigation, paper-config HAMMER and calibration-aware HAMMER
 (:class:`~repro.core.weights.NoiseAwareWeights`) are compared on PST.
+
+Backends: ``config.backend`` selects the ideal-simulation backend for every
+job.  The default ``"statevector"`` keeps the historical RNG streams (the
+standard-zoo row table is bit-identical to pre-backend releases at a fixed
+seed); ``"stabilizer"`` or ``"auto"`` unlock the large-width tier
+(``heavy-hex-127-bv``, ``sycamore-53-ghz``), whose Clifford workloads run
+at full device scale — far beyond the dense simulator's 24-qubit limit.
 
 Determinism: secret keys are drawn from ``config.seed`` in registry order
 and every job's sampling stream is ``SeedSequence((seed, batch index))``,
@@ -25,6 +33,7 @@ from repro.baselines.inference import majority_vote_outcome
 from repro.baselines.readout_mitigation import ReadoutCalibration, mitigate_readout
 from repro.calibration.scenario import Scenario, all_scenarios, get_scenario
 from repro.circuits.bv import bernstein_vazirani, bv_correct_outcome, random_bv_key
+from repro.circuits.ghz import ghz_circuit, ghz_correct_outcomes
 from repro.core.hammer import HammerConfig, hammer
 from repro.core.weights import NoiseAwareWeights
 from repro.engine import CircuitJob, ExecutionEngine
@@ -42,11 +51,15 @@ class ScenarioStudyConfig:
     Attributes
     ----------
     scenarios:
-        Registry names to run; ``None`` sweeps the whole zoo.
+        Registry names to run; ``None`` sweeps the standard zoo (large-tier
+        scenarios must be named explicitly — they need a non-default
+        backend).
     num_qubits:
-        BV circuit width (must fit every selected scenario's device).
+        Workload circuit width for scenarios that do not pin their own
+        ``workload_qubits`` (must fit every selected scenario's device).
     keys_per_scenario:
-        Random secret keys per scenario.
+        Random secret keys per scenario (GHZ workloads have no key; they
+        run this many identically-prepared circuits instead).
     shots:
         Override for the trials per circuit; ``None`` uses each scenario's
         own shot budget.
@@ -54,6 +67,10 @@ class ScenarioStudyConfig:
         Route + decompose onto each scenario's topology first (the SWAP
         overhead differs per topology, which is part of what the zoo
         compares).
+    backend:
+        Ideal-simulation backend for every job: ``"statevector"``
+        (default, historical bit-identical streams), ``"stabilizer"`` or
+        ``"auto"``.
     seed:
         RNG seed for key generation and the per-job sampling streams.
     """
@@ -63,6 +80,7 @@ class ScenarioStudyConfig:
     keys_per_scenario: int = 2
     shots: int | None = None
     transpile_circuits: bool = True
+    backend: str = "statevector"
     seed: int = 12
 
     def __post_init__(self) -> None:
@@ -80,6 +98,22 @@ class ScenarioStudyConfig:
         return [get_scenario(name) for name in self.scenarios]
 
 
+def _scenario_workload(
+    scenario: Scenario, config: ScenarioStudyConfig, rng: np.random.Generator
+):
+    """Build one (circuit, correct_outcomes, label) workload instance.
+
+    BV scenarios consume one key draw from ``rng``; GHZ scenarios consume
+    nothing, so adding GHZ entries to a selection never shifts the key
+    sequence of the BV scenarios around them.
+    """
+    width = scenario.workload_qubits or config.num_qubits
+    if scenario.workload == "ghz":
+        return ghz_circuit(width), ghz_correct_outcomes(width), "ghz"
+    secret_key = random_bv_key(width, rng)
+    return bernstein_vazirani(secret_key), [bv_correct_outcome(secret_key)], secret_key
+
+
 def run_scenario_study(
     config: ScenarioStudyConfig | None = None,
     hammer_config: HammerConfig | None = None,
@@ -94,22 +128,26 @@ def run_scenario_study(
 
     rng = np.random.default_rng(config.seed)
     jobs: list[CircuitJob] = []
+    correct_by_job: dict[str, list[str]] = {}
     devices = {scenario.name: scenario.device() for scenario in scenarios}
     for scenario in scenarios:
         device = devices[scenario.name]
         shots = config.shots if config.shots is not None else scenario.shots
         for key_index in range(config.keys_per_scenario):
-            secret_key = random_bv_key(config.num_qubits, rng)
+            circuit, correct, label = _scenario_workload(scenario, config, rng)
+            job_id = f"scenario-{scenario.name}-n{circuit.num_qubits}-k{key_index}"
+            correct_by_job[job_id] = correct
             jobs.append(
                 CircuitJob(
-                    job_id=f"scenario-{scenario.name}-n{config.num_qubits}-k{key_index}",
-                    circuit=bernstein_vazirani(secret_key),
+                    job_id=job_id,
+                    circuit=circuit,
                     shots=shots,
                     noise_model=device.noise_model,
                     coupling_map=device.coupling_map if config.transpile_circuits else None,
                     basis_gates=device.basis_gates if config.transpile_circuits else None,
                     device=device,
-                    metadata={"scenario": scenario.name, "secret_key": secret_key},
+                    backend=config.backend,
+                    metadata={"scenario": scenario.name, "secret_key": label},
                 )
             )
 
@@ -119,8 +157,7 @@ def run_scenario_study(
     for result in results:
         scenario = get_scenario(result.metadata["scenario"])
         device = devices[scenario.name]
-        secret_key = result.metadata["secret_key"]
-        correct = bv_correct_outcome(secret_key)
+        correct = correct_by_job[result.job_id]
         noisy = result.noisy
 
         # The histogram is in logical bit order but the noise acted on
@@ -153,17 +190,18 @@ def run_scenario_study(
                 "device_qubits": scenario.num_qubits,
                 "spread": scenario.spread,
                 "drift_time": scenario.drift_time,
-                "key": secret_key,
+                "key": result.metadata["secret_key"],
                 "two_qubit_gates": result.two_qubit_gates,
                 "num_swaps": result.num_swaps,
                 "baseline_pst": baseline_pst,
-                "majority_vote_correct": float(majority_vote_outcome(noisy) == correct),
+                "majority_vote_correct": float(majority_vote_outcome(noisy) in correct),
                 "mitigated_pst": mitigated_pst,
                 "hammer_pst": hammer_pst,
                 "noise_aware_pst": noise_aware_pst,
                 "hammer_vs_baseline": relative_improvement(baseline_pst, hammer_pst),
                 "hammer_vs_mitigated": relative_improvement(mitigated_pst, hammer_pst),
                 "noise_aware_vs_baseline": relative_improvement(baseline_pst, noise_aware_pst),
+                "backend": result.backend,
             }
         )
 
@@ -184,6 +222,7 @@ def run_scenario_study(
         "keys_per_scenario": config.keys_per_scenario,
         "shots": config.shots,
         "transpile_circuits": config.transpile_circuits,
+        "backend": config.backend,
         "seed": config.seed,
         "scenarios": [scenario.name for scenario in scenarios],
     }

@@ -94,6 +94,19 @@ def _single_qubit_to_basis(instruction: Instruction) -> list[Instruction]:
         return [instruction]
     matrix = instruction.matrix()
     alpha, beta, gamma = _zyz_angles(matrix)
+    turns = (alpha + gamma) / (np.pi / 2.0)
+    if abs(beta) < 1e-12 and abs(turns - round(turns)) < 1e-9 and round(turns) % 2 == 1:
+        # Diagonal Clifford rotation by an odd number of quarter turns
+        # (S, S†, P(±π/2), …): the symmetric ZYZ split would halve the angle
+        # into two non-quarter-turn rz gates, flipping the circuit's
+        # gate-wise Clifford classification under transpilation.  Emit the
+        # single faithful frame rotation instead.  Deliberately narrow:
+        # every other diagonal gate (Z, T, P(kπ), …) keeps the historical
+        # ZSXZSXZ decomposition, so pre-existing transpiled rows stay
+        # bit-identical (their split angles never break classification —
+        # halving an even quarter-turn total or a non-Clifford angle changes
+        # nothing either way).
+        return [Instruction("rz", (qubit,), (alpha + gamma,))]
     # U = Rz(alpha) Ry(beta) Rz(gamma) = Rz(alpha + pi) . SX . Rz(beta + pi) . SX . Rz(gamma)
     # up to a global phase (the standard ZSXZSXZ hardware decomposition).
     # Listed in circuit (application) order: Rz(gamma) acts first.

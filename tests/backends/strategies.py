@@ -1,0 +1,66 @@
+"""Shared hypothesis strategies for the backend test suite.
+
+Imported as a plain module (``from strategies import ...``); pytest puts
+each rootdir-relative test directory on ``sys.path`` while collecting it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import strategies as st
+
+from repro.quantum.circuit import QuantumCircuit
+
+#: The satellite-task gate set: circuits built only from these are Clifford.
+CORE_CLIFFORD_1Q = ("h", "s", "x", "z")
+CORE_CLIFFORD_2Q = ("cx", "cz")
+
+#: The full fixed Clifford vocabulary the stabilizer backend lowers.
+EXTENDED_CLIFFORD_1Q = ("h", "s", "sdg", "x", "y", "z", "sx")
+EXTENDED_CLIFFORD_2Q = ("cx", "cz", "swap", "iswap")
+
+#: Quarter-turn rotation gates (Clifford at multiples of pi/2).
+ROTATION_1Q = ("rx", "ry", "rz", "p")
+
+
+@st.composite
+def clifford_circuits(
+    draw,
+    min_qubits: int = 2,
+    max_qubits: int = 6,
+    max_gates: int = 24,
+    single_gates: tuple[str, ...] = CORE_CLIFFORD_1Q,
+    two_gates: tuple[str, ...] = CORE_CLIFFORD_2Q,
+    include_rotations: bool = False,
+) -> QuantumCircuit:
+    """Random Clifford circuits over a configurable gate vocabulary."""
+    num_qubits = draw(st.integers(min_qubits, max_qubits))
+    circuit = QuantumCircuit(num_qubits, name="hyp-clifford")
+    for _ in range(draw(st.integers(0, max_gates))):
+        kind = draw(st.integers(0, 2 if include_rotations else 1))
+        if kind == 2:
+            gate = draw(st.sampled_from(ROTATION_1Q))
+            turns = draw(st.integers(0, 7))
+            circuit.append(gate, [draw(st.integers(0, num_qubits - 1))], [turns * math.pi / 2])
+        elif kind == 1 and num_qubits >= 2:
+            gate = draw(st.sampled_from(two_gates))
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            circuit.append(gate, [a, b])
+        else:
+            gate = draw(st.sampled_from(single_gates))
+            circuit.append(gate, [draw(st.integers(0, num_qubits - 1))])
+    return circuit
+
+
+@st.composite
+def non_clifford_angles(draw) -> float:
+    """Angles bounded away from every multiple of pi/2 (classifier-negative)."""
+    turns = draw(st.integers(-4, 4))
+    offset = draw(
+        st.floats(0.05, math.pi / 2 - 0.05, allow_nan=False, allow_infinity=False)
+    )
+    return turns * (math.pi / 2) + offset

@@ -1,0 +1,108 @@
+"""Property tests for the Clifford detector (backend auto-dispatch rules).
+
+The three satellite properties:
+
+1. any circuit built only from {H, S, X, Z, CX, CZ} classifies Clifford;
+2. adding one T (or an RZ whose angle is not a multiple of pi/2) flips the
+   classification;
+3. transpilation (routing + basis decomposition) never changes the
+   classification, in either direction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import clifford_circuits, non_clifford_angles  # tests/backends/strategies.py
+
+from repro.backends import is_clifford_circuit, is_clifford_instruction
+from repro.backends.clifford import quarter_turns
+from repro.quantum.circuit import Instruction, QuantumCircuit
+from repro.quantum.coupling import linear_coupling
+from repro.quantum.transpiler import transpile
+
+_SETTINGS = dict(deadline=None, derandomize=True)
+
+
+class TestCoreGateSetIsClifford:
+    @given(circuit=clifford_circuits())
+    @settings(max_examples=60, **_SETTINGS)
+    def test_core_gate_circuits_classify_clifford(self, circuit):
+        assert is_clifford_circuit(circuit)
+
+    @given(
+        circuit=clifford_circuits(
+            single_gates=("h", "s", "sdg", "x", "y", "z", "sx"),
+            two_gates=("cx", "cz", "swap", "iswap"),
+            include_rotations=True,
+        )
+    )
+    @settings(max_examples=60, **_SETTINGS)
+    def test_extended_vocabulary_classifies_clifford(self, circuit):
+        assert is_clifford_circuit(circuit)
+
+
+class TestOneBadGateFlipsIt:
+    @given(circuit=clifford_circuits(), position=st.integers(0, 1_000), use_t=st.booleans(),
+           angle=non_clifford_angles())
+    @settings(max_examples=60, **_SETTINGS)
+    def test_inserting_t_or_irrational_rz_flips_classification(
+        self, circuit, position, use_t, angle
+    ):
+        qubit = position % circuit.num_qubits
+        if use_t:
+            poisoned_gate = Instruction("t", (qubit,))
+        else:
+            poisoned_gate = Instruction("rz", (qubit,), (angle,))
+        poisoned = circuit.copy()
+        where = position % (len(circuit.instructions) + 1)
+        poisoned.instructions.insert(where, poisoned_gate)
+        assert is_clifford_circuit(circuit)
+        assert not is_clifford_circuit(poisoned)
+
+    def test_quarter_turn_rz_stays_clifford(self):
+        for turns in range(-4, 5):
+            circuit = QuantumCircuit(1).rz(turns * math.pi / 2, 0)
+            assert is_clifford_circuit(circuit)
+
+    def test_quarter_turns_helper(self):
+        assert quarter_turns(math.pi / 2) == 1
+        assert quarter_turns(-math.pi / 2) == 3
+        assert quarter_turns(2 * math.pi) == 0
+        assert quarter_turns(math.pi / 4) is None
+
+    def test_cp_needs_a_multiple_of_pi(self):
+        assert is_clifford_instruction(Instruction("cp", (0, 1), (math.pi,)))
+        assert not is_clifford_instruction(Instruction("cp", (0, 1), (math.pi / 2,)))
+
+    def test_u3_and_tdg_are_never_clifford(self):
+        assert not is_clifford_instruction(Instruction("u3", (0,), (0.0, 0.0, 0.0)))
+        assert not is_clifford_instruction(Instruction("tdg", (0,)))
+
+
+class TestTranspilationPreservesClassification:
+    @pytest.mark.parametrize("basis", [("rz", "sx", "x", "cx"), ("rz", "sx", "x", "cz")])
+    @given(circuit=clifford_circuits(min_qubits=3, max_qubits=6), poison=st.booleans())
+    @settings(max_examples=40, **_SETTINGS)
+    def test_routing_and_decomposition_never_flip_it(self, basis, circuit, poison):
+        if poison:
+            circuit = circuit.copy()
+            circuit.instructions.append(Instruction("t", (0,)))
+        before = is_clifford_circuit(circuit)
+        transpiled = transpile(
+            circuit,
+            coupling_map=linear_coupling(circuit.num_qubits),
+            basis_gates=basis,
+        )
+        assert is_clifford_circuit(transpiled.circuit) == before
+
+    def test_decomposed_hadamard_classifies_through_float_residue(self):
+        # The ZYZ decomposition of H produces rz angles like pi/2 with float
+        # rounding; the detector's tolerance must absorb it.
+        transpiled = transpile(QuantumCircuit(2).h(0).h(1), basis_gates=("rz", "sx", "x", "cx"))
+        assert any(inst.name == "rz" for inst in transpiled.circuit.instructions)
+        assert is_clifford_circuit(transpiled.circuit)

@@ -1,0 +1,132 @@
+"""Differential test harness: stabilizer ≡ statevector on Clifford circuits.
+
+Hypothesis-generated random Clifford circuits (and the paper's Clifford
+workloads, BV and GHZ, transpiled onto a real topology) run through both
+backends at fixed seeds and must produce
+
+* identical ideal distributions (same support, same order, same
+  probabilities), and
+* identical noisy histograms under the same calibration snapshot — the
+  engine's sampling stream consumes the ideal support row-for-row, so any
+  support-order or probability divergence between the backends would show
+  up as differing histograms.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from strategies import (  # tests/backends/strategies.py
+    EXTENDED_CLIFFORD_1Q,
+    EXTENDED_CLIFFORD_2Q,
+    clifford_circuits,
+)
+
+from repro.backends import get_backend
+from repro.calibration import synthetic_snapshot
+from repro.circuits.bv import bernstein_vazirani, bv_secret_key
+from repro.circuits.ghz import ghz_circuit
+from repro.engine import CircuitJob, ExecutionEngine
+from repro.quantum.coupling import linear_coupling
+from repro.quantum.device import DeviceProfile
+from repro.quantum.noise import NoiseModel, ReadoutError
+
+_SETTINGS = dict(deadline=None, derandomize=True)
+
+
+@lru_cache(maxsize=None)
+def _calibrated_noise_model(num_qubits: int) -> NoiseModel:
+    """A per-qubit/per-edge calibrated noise model for an n-qubit register."""
+    profile = DeviceProfile(
+        name=f"diff-{num_qubits}",
+        num_qubits=num_qubits,
+        coupling_map=linear_coupling(num_qubits),
+        noise_model=NoiseModel(
+            single_qubit_error=0.002,
+            two_qubit_error=0.02,
+            readout_error=ReadoutError(prob_1_given_0=0.02, prob_0_given_1=0.04),
+            idle_error_per_layer=0.001,
+            crosstalk_error=0.0005,
+        ),
+    )
+    snapshot = synthetic_snapshot(profile, seed=13, spread=0.35)
+    return profile.noise_model.with_calibration(snapshot)
+
+
+def _run(circuit, backend: str, shots: int = 512, transpile: bool = False):
+    """One engine execution of the circuit on the given backend."""
+    noise_model = _calibrated_noise_model(circuit.num_qubits)
+    job = CircuitJob(
+        job_id=f"diff-{backend}",
+        circuit=circuit,
+        shots=shots,
+        noise_model=noise_model,
+        coupling_map=linear_coupling(circuit.num_qubits) if transpile else None,
+        basis_gates=("rz", "sx", "x", "cx") if transpile else None,
+        backend=backend,
+    )
+    return ExecutionEngine().run_single(job, seed=11)
+
+
+class TestIdealDistributions:
+    @given(circuit=clifford_circuits(max_qubits=6, max_gates=24,
+                                     single_gates=EXTENDED_CLIFFORD_1Q,
+                                     two_gates=EXTENDED_CLIFFORD_2Q,
+                                     include_rotations=True))
+    @settings(max_examples=50, **_SETTINGS)
+    def test_random_clifford_circuits_agree(self, circuit):
+        dense = get_backend("statevector").ideal_distribution(circuit)
+        tableau = get_backend("stabilizer").ideal_distribution(circuit)
+        # Same support in the same (ascending) order …
+        assert tableau.outcomes() == dense.outcomes()
+        # … with the same probabilities (tableau probabilities are exact
+        # powers of two; dense ones carry float rounding).
+        np.testing.assert_allclose(
+            tableau.probability_vector(), dense.probability_vector(), atol=1e-9
+        )
+        assert tableau == dense
+
+
+class TestNoisyHistograms:
+    @given(circuit=clifford_circuits(max_qubits=5, max_gates=16))
+    @settings(max_examples=20, **_SETTINGS)
+    def test_random_clifford_histograms_identical(self, circuit):
+        dense = _run(circuit, "statevector")
+        tableau = _run(circuit, "stabilizer")
+        assert dense.backend == "statevector" and tableau.backend == "stabilizer"
+        assert tableau.noisy.counts() == dense.noisy.counts()
+        assert tableau.ideal == dense.ideal
+
+    @pytest.mark.parametrize("num_qubits", [4, 6, 8, 10])
+    def test_bv_workload_identical_through_transpilation(self, num_qubits):
+        circuit = bernstein_vazirani(bv_secret_key(num_qubits, "alternating"))
+        dense = _run(circuit, "statevector", transpile=True)
+        tableau = _run(circuit, "stabilizer", transpile=True)
+        assert tableau.noisy.counts() == dense.noisy.counts()
+        assert tableau.ideal == dense.ideal
+        auto = _run(circuit, "auto", transpile=True)
+        assert auto.backend == "stabilizer"
+        assert auto.noisy.counts() == tableau.noisy.counts()
+
+    @pytest.mark.parametrize("num_qubits", [4, 7, 10])
+    def test_ghz_workload_identical_through_transpilation(self, num_qubits):
+        circuit = ghz_circuit(num_qubits)
+        dense = _run(circuit, "statevector", transpile=True)
+        tableau = _run(circuit, "stabilizer", transpile=True)
+        assert tableau.noisy.counts() == dense.noisy.counts()
+        assert tableau.ideal == dense.ideal
+
+    def test_seed_sensitivity_is_shared(self):
+        circuit = bernstein_vazirani("10110")
+        noise_model = _calibrated_noise_model(5)
+        jobs = [
+            CircuitJob(job_id="a", circuit=circuit, shots=512,
+                       noise_model=noise_model, backend="stabilizer"),
+        ]
+        first = ExecutionEngine().run(jobs, seed=1)[0]
+        second = ExecutionEngine().run(jobs, seed=2)[0]
+        assert first.noisy.counts() != second.noisy.counts()

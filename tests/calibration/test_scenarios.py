@@ -36,7 +36,24 @@ class TestRegistry:
         from repro.calibration import scenario_rows
 
         rows = scenario_rows()
-        assert [row["name"] for row in rows] == available_scenarios()
+        assert [row["name"] for row in rows] == available_scenarios(include_large=True)
+
+    def test_large_tier_is_opt_in(self):
+        standard = available_scenarios()
+        everything = available_scenarios(include_large=True)
+        large = set(everything) - set(standard)
+        # The default zoo is unchanged (sweep rows stay bit-identical) and the
+        # large tier holds the stabilizer-only device-scale workloads.
+        assert {"heavy-hex-127-bv", "sycamore-53-ghz", "linear-50-bv"} <= large
+        assert all(get_scenario(name).tier == "large" for name in large)
+        assert all(get_scenario(name).num_qubits >= 50 for name in large)
+        assert all(scenario.tier == "standard" for scenario in all_scenarios())
+
+    def test_large_scenarios_pin_their_workload(self):
+        bv = get_scenario("heavy-hex-127-bv")
+        assert bv.workload == "bv" and bv.workload_qubits == 127
+        ghz = get_scenario("sycamore-53-ghz")
+        assert ghz.workload == "ghz" and ghz.workload_qubits == 53
 
 
 class TestScenarioDevices:

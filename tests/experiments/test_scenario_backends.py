@@ -1,0 +1,86 @@
+"""Backend wiring of the scenario sweep, including the large-width tier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ExecutionEngine
+from repro.exceptions import EngineError, ReproError
+from repro.experiments import run_scenario_study
+from repro.experiments.scenario_study import ScenarioStudyConfig
+
+
+def _config(**overrides):
+    fields = dict(num_qubits=5, keys_per_scenario=1, shots=512, seed=12)
+    fields.update(overrides)
+    return ScenarioStudyConfig(**fields)
+
+
+class TestBackendSelection:
+    def test_default_backend_is_statevector(self):
+        report = run_scenario_study(_config(scenarios=("linear-12-spread",)))
+        assert all(row["backend"] == "statevector" for row in report.rows)
+        assert report.meta["config"]["backend"] == "statevector"
+
+    def test_auto_dispatch_uses_stabilizer_for_bv(self):
+        # BV transpiles to a Clifford circuit, so auto lands on the tableau.
+        report = run_scenario_study(
+            _config(scenarios=("linear-12-spread",), backend="auto")
+        )
+        assert all(row["backend"] == "stabilizer" for row in report.rows)
+
+    def test_statevector_and_stabilizer_rows_agree_on_metrics(self):
+        # Same scenario/seed on both backends: the PST columns must agree to
+        # float tolerance (the histograms are drawn from the same streams
+        # over near-identical ideal supports).
+        dense = run_scenario_study(_config(scenarios=("linear-12-spread",)))
+        tableau = run_scenario_study(
+            _config(scenarios=("linear-12-spread",), backend="stabilizer")
+        )
+        for dense_row, tableau_row in zip(dense.rows, tableau.rows):
+            assert dense_row["key"] == tableau_row["key"]
+            assert dense_row["baseline_pst"] == pytest.approx(
+                tableau_row["baseline_pst"], abs=1e-12
+            )
+            assert dense_row["hammer_pst"] == pytest.approx(
+                tableau_row["hammer_pst"], abs=1e-12
+            )
+
+    def test_large_scenario_rejected_on_statevector(self):
+        with pytest.raises((EngineError, ReproError), match="limited to 24"):
+            run_scenario_study(_config(scenarios=("linear-50-bv",)))
+
+
+@pytest.mark.slow
+class TestLargeWidthTier:
+    def test_fifty_qubit_bv_completes_on_stabilizer(self):
+        report = run_scenario_study(
+            _config(scenarios=("linear-50-bv",), shots=512, backend="stabilizer"),
+            engine=ExecutionEngine(),
+        )
+        (row,) = report.rows
+        assert row["backend"] == "stabilizer"
+        assert row["device_qubits"] == 50
+        assert len(row["key"]) == 50  # full-width secret key
+        assert row["num_swaps"] > 0  # genuinely routed on the chain
+        assert 0.0 <= row["baseline_pst"] <= 1.0
+
+    def test_ghz_scenario_completes_via_auto(self):
+        report = run_scenario_study(
+            _config(scenarios=("sycamore-53-ghz",), shots=512, backend="auto"),
+        )
+        (row,) = report.rows
+        assert row["backend"] == "stabilizer"
+        assert row["key"] == "ghz"
+        assert row["device_qubits"] == 53
+
+    def test_stabilizer_rows_bit_identical_across_worker_counts(self):
+        serial = run_scenario_study(
+            _config(scenarios=("linear-50-bv",), shots=512, backend="stabilizer"),
+            engine=ExecutionEngine(max_workers=1),
+        )
+        parallel = run_scenario_study(
+            _config(scenarios=("linear-50-bv",), shots=512, backend="stabilizer"),
+            engine=ExecutionEngine(max_workers=2),
+        )
+        assert serial.rows == parallel.rows

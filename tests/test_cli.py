@@ -201,3 +201,48 @@ class TestCalibrationSubcommands:
         assert payload["name"] == "scenario_sweep"
         assert payload["summary"]["num_scenarios"] >= 12
         assert payload["meta"]["engine"]["num_jobs"] == len(payload["rows"])
+
+
+class TestBackendSubcommands:
+    def test_backends_table(self, capsys):
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        assert "statevector" in output and "stabilizer" in output and "auto" in output
+
+    def test_backends_json(self, capsys):
+        assert main(["backends", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "backends"
+        assert payload["summary"]["num_backends"] >= 2.0
+        by_name = {row["name"]: row for row in payload["rows"]}
+        assert by_name["statevector"]["max_qubits"] == 24
+        assert by_name["stabilizer"]["max_qubits"] >= 127
+
+    def test_scenarios_table_lists_large_tier(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        assert "heavy-hex-127-bv" in output and "sycamore-53-ghz" in output
+
+    def test_scenario_sweep_honours_backend_and_scenario_flags(self, capsys):
+        assert main([
+            "scenario-sweep", "--qubits", "5", "--scenario", "linear-12-spread",
+            "--backend", "auto", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["num_scenarios"] == 1.0
+        assert all(row["backend"] == "stabilizer" for row in payload["rows"])
+        assert payload["meta"]["config"]["backend"] == "auto"
+        assert payload["meta"]["engine"]["stabilizer_jobs"] == len(payload["rows"])
+
+    def test_list_mentions_backends(self, capsys):
+        assert main(["list"]) == 0
+        assert "backends" in capsys.readouterr().out
+
+    def test_backend_flag_rejected_by_unaware_experiments(self, capsys):
+        # fig8 would silently run statevector; the CLI must refuse instead.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig8", "--backend", "stabilizer"])
+        assert excinfo.value.code == 2
+        assert "scenario-sweep" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["fig8", "--scenario", "linear-12-spread"])
