@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli backends        # registered simulation backends
     python -m repro.cli scenario-sweep --jobs 4 --format json
     python -m repro.cli scenario-sweep --scenario heavy-hex-127-bv --backend stabilizer
+    python -m repro.cli profile fig8 --format json --out profile.json
 
 Every experiment runs its sweep through one shared
 :class:`~repro.engine.engine.ExecutionEngine`: ``--jobs`` fans the batch out
@@ -72,11 +73,13 @@ __all__ = [
     "build_parser",
     "build_engine",
     "run_experiment",
+    "profile_report",
     "devices_report",
     "scenarios_report",
     "backends_report",
     "EXPERIMENTS",
     "SUBCOMMANDS",
+    "PROFILE_UNSUPPORTED_EXPERIMENTS",
 ]
 
 
@@ -246,6 +249,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate figures/tables of the HAMMER paper (ASPLOS 2022) reproduction.",
     )
     parser.add_argument("experiment", help="experiment id (use 'list' to see all)")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="experiment id to profile (only with the 'profile' subcommand)")
     parser.add_argument("--scale", choices=("small", "full"), default="small",
                         help="dataset scale: 'small' for quick runs, 'full' for paper-scale sweeps")
     parser.add_argument("--qubits", type=int, default=None, help="override the circuit width")
@@ -340,6 +345,49 @@ def backends_report() -> ExperimentReport:
 #: rather than silently ignore a requested backend.
 BACKEND_AWARE_EXPERIMENTS = frozenset({"scenario-sweep"})
 
+#: Experiments the ``profile`` subcommand must reject: they run no engine
+#: pipeline (pure analytic tables or local landscape scans), so the
+#: per-phase transpile/ideal/sample/hammer attribution would be an empty
+#: report that silently reads as "this experiment is free".
+PROFILE_UNSUPPORTED_EXPERIMENTS = frozenset({"fig5", "table3", "table3-runtime"})
+
+
+def profile_report(
+    target: str, args: argparse.Namespace, engine: ExecutionEngine | None = None
+) -> ExperimentReport:
+    """Run one experiment under the phase profiler (``profile`` subcommand).
+
+    The report's rows are per-phase wall seconds (transpile / ideal / sample
+    from the engine, hammer from the reconstruction kernel) with call counts
+    and shares; engine cache statistics and the kernel-tuning decisions ride
+    along in ``meta`` so a JSON artifact fully describes the run.
+    """
+    import time as _time
+
+    from repro.core.profiling import collect_phases
+    from repro.core.tuning import tuning_report
+
+    if target not in EXPERIMENTS:
+        raise SystemExit(f"unknown experiment {target!r}; run 'list' to see the registry")
+    if target in PROFILE_UNSUPPORTED_EXPERIMENTS:
+        raise SystemExit(
+            f"'profile' does not support {target!r}: it runs no engine pipeline; "
+            f"supported experiments: {sorted(set(EXPERIMENTS) - PROFILE_UNSUPPORTED_EXPERIMENTS)}"
+        )
+    engine = engine if engine is not None else build_engine(args)
+    wall_start = _time.perf_counter()
+    with collect_phases() as phases:
+        inner = run_experiment(target, args, engine)
+    wall_seconds = _time.perf_counter() - wall_start
+    report = ExperimentReport(name=f"profile_{target}", rows=phases.as_rows())
+    report.summary["wall_seconds"] = wall_seconds
+    report.summary["phase_seconds"] = phases.total_seconds()
+    report.summary["unattributed_seconds"] = wall_seconds - phases.total_seconds()
+    report.summary["rows_produced"] = float(len(inner.rows))
+    report.meta["experiment"] = target
+    report.meta["tuning"] = tuning_report()
+    return attach_engine_meta(report, engine)
+
 #: Informational subcommands: no engine, no sweep — just a registry table.
 SUBCOMMANDS = {
     "devices": ("Built-in device profiles (uniform noise medians)", devices_report),
@@ -352,17 +400,38 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if (args.backend or args.scenario) and args.experiment not in BACKEND_AWARE_EXPERIMENTS:
+    if args.target is not None and args.experiment != "profile":
+        parser.error(
+            f"unexpected positional {args.target!r}: only the 'profile' subcommand "
+            f"takes a second experiment id"
+        )
+    if args.experiment == "profile" and args.target is None:
+        parser.error(
+            "profile requires an experiment id, e.g. 'profile fig8' "
+            "(run 'list' to see the registry)"
+        )
+    profiled = args.target if args.experiment == "profile" else args.experiment
+    if (args.backend or args.scenario) and profiled not in BACKEND_AWARE_EXPERIMENTS:
         parser.error(
             f"--backend/--scenario only apply to {sorted(BACKEND_AWARE_EXPERIMENTS)}; "
-            f"{args.experiment!r} runs its pinned sweep and would silently ignore them"
+            f"{profiled!r} runs its pinned sweep and would silently ignore them"
         )
     if args.experiment == "list":
         rows = [{"id": key, "description": description} for key, (description, _) in EXPERIMENTS.items()]
         rows += [{"id": key, "description": description} for key, (description, _) in SUBCOMMANDS.items()]
+        rows.append(
+            {
+                "id": "profile <experiment>",
+                "description": "Per-phase timing profile (transpile/ideal/sample/hammer)",
+            }
+        )
         print(format_table(rows))
         return 0
-    if args.experiment in SUBCOMMANDS:
+    if args.experiment == "profile":
+        # Unknown / engine-less targets are rejected by profile_report, the
+        # single owner of that validation (the CLI and library paths share it).
+        report = profile_report(args.target, args)
+    elif args.experiment in SUBCOMMANDS:
         _, builder = SUBCOMMANDS[args.experiment]
         report = builder()
     else:

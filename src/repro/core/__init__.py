@@ -11,9 +11,13 @@ Public surface:
   (Hamming spectrum, CHS, EHD).
 * Post-processing pipelines in :mod:`repro.core.pipeline` and named ablation
   variants in :mod:`repro.core.variants`.
+* The shape-adaptive pairwise kernels in :mod:`repro.core.kernels` and their
+  machine tuning (tile/block sizes, kernel overrides) in
+  :mod:`repro.core.tuning`.
 """
 
-from repro.core import variants
+from repro.core import tuning, variants
+from repro.core.kernels import choose_plan, chs_histogram, has_fast_popcount, popcount_u64
 from repro.core.bitstring import (
     PackedOutcomes,
     all_bitstrings,
@@ -46,6 +50,7 @@ from repro.core.spectrum import (
     distance_to_correct_set,
     expected_hamming_distance,
     hamming_spectrum,
+    spectrum_bins,
     uniform_model_ehd,
 )
 from repro.core.weights import (
@@ -88,6 +93,7 @@ __all__ = [
     "distance_to_correct_set",
     "expected_hamming_distance",
     "hamming_spectrum",
+    "spectrum_bins",
     "uniform_model_ehd",
     # weights
     "ExponentialDecayWeights",
@@ -106,4 +112,10 @@ __all__ = [
     "TruncationStage",
     # variants
     "variants",
+    # kernels / tuning
+    "choose_plan",
+    "chs_histogram",
+    "has_fast_popcount",
+    "popcount_u64",
+    "tuning",
 ]

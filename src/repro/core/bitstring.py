@@ -21,6 +21,13 @@ from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core import tuning
+from repro.core.kernels import (
+    DENSE_CHS_MAX_BITS as _DENSE_CHS_MAX_BITS,
+    chs_histogram,
+    popcount_u64 as _popcount,
+    walsh_hadamard_inplace as _walsh_hadamard_inplace,
+)
 from repro.exceptions import BitstringError
 
 __all__ = [
@@ -165,11 +172,6 @@ def random_bitstring(num_bits: int, rng: np.random.Generator | None = None) -> s
     generator = rng if rng is not None else np.random.default_rng()
     bits = generator.integers(0, 2, size=num_bits)
     return "".join("1" if bit else "0" for bit in bits)
-
-
-def _popcount(values: np.ndarray) -> np.ndarray:
-    """Vectorised popcount for uint64 arrays."""
-    return np.bitwise_count(values)
 
 
 def pack_bit_matrix(bits: np.ndarray) -> np.ndarray:
@@ -452,66 +454,14 @@ class PackedOutcomes:
         return best
 
 
-#: Widest register for which the dense Walsh–Hadamard CHS path is considered
-#: (2**20 float64 work vectors = 8 MiB each).
-_DENSE_CHS_MAX_BITS = 20
-
-#: Target number of pairwise-distance entries held in memory at once.  Every
-#: O(N^2) Hamming kernel (HAMMER's block loops, the blocked CHS fallback)
-#: evaluates row blocks sized from this single budget so that histograms with
-#: tens of thousands of unique outcomes fit comfortably in memory (the paper
-#: reports ~20K unique outcomes for its largest instance).
-_BLOCK_ENTRY_BUDGET = 4_000_000
-
-
 def pairwise_block_size(num_outcomes: int) -> int:
-    """Rows per block for an ``O(N^2)`` pairwise sweep under the entry budget."""
-    return max(1, min(num_outcomes, _BLOCK_ENTRY_BUDGET // max(1, num_outcomes)))
+    """Rows per block for an ``O(N^2)`` pairwise sweep under the entry budget.
 
-
-def _walsh_hadamard_inplace(vector: np.ndarray) -> np.ndarray:
-    """Unnormalised fast Walsh–Hadamard transform, O(n * 2**n)."""
-    half = 1
-    size = vector.size
-    while half < size:
-        paired = vector.reshape(-1, 2 * half)
-        left = paired[:, :half].copy()
-        right = paired[:, half:].copy()
-        paired[:, :half] = left + right
-        paired[:, half:] = left - right
-        half *= 2
-    return vector
-
-
-def _dense_xor_distance_histogram(
-    packed: "PackedOutcomes", weights: np.ndarray, limit: int
-) -> np.ndarray:
-    """CHS via the XOR-convolution theorem on the dense hypercube.
-
-    ``chs[d] = Σ_{x,y: d(x,y)=d} w(y)`` equals the sum of the XOR-convolution
-    ``(f ⊛ w)(z) = Σ_x f(x) w(x ⊕ z)`` (``f`` the support indicator) over all
-    ``z`` of popcount ``d`` — three Walsh–Hadamard transforms instead of an
-    ``O(N^2)`` pairwise sweep.
+    The budget — how many pairwise entries one block may hold — lives in
+    :mod:`repro.core.tuning` and can be overridden with
+    ``REPRO_PAIRWISE_BLOCK_ENTRIES`` (default: the historical 4,000,000).
     """
-    num_bits = packed.num_bits
-    size = 1 << num_bits
-    indices = packed.words[:, 0].astype(np.int64)
-    support = np.zeros(size, dtype=float)
-    support[indices] = 1.0
-    weighted = np.zeros(size, dtype=float)
-    weighted[indices] = weights
-    product = _walsh_hadamard_inplace(support) * _walsh_hadamard_inplace(weighted)
-    convolution = _walsh_hadamard_inplace(product) / size
-    popcounts = np.bitwise_count(np.arange(size, dtype=np.uint64)).astype(np.int64)
-    histogram = np.bincount(popcounts, weights=convolution, minlength=num_bits + 1)[
-        : num_bits + 1
-    ]
-    # The transform leaves ~1e-13-relative fuzz where the exact answer is 0;
-    # snap it out so downstream 1/CHS weighting never divides by noise.
-    histogram[np.abs(histogram) < 1e-10 * max(1.0, float(np.abs(histogram).max()))] = 0.0
-    np.clip(histogram, 0.0, None, out=histogram)
-    histogram[limit + 1 :] = 0.0
-    return histogram
+    return tuning.pairwise_block_size(num_outcomes)
 
 
 def xor_distance_histogram(
@@ -519,37 +469,12 @@ def xor_distance_histogram(
 ) -> np.ndarray:
     """Per-distance pair mass ``chs[d] = Σ_{x,y: d(x,y)=d, d<=limit} w(y)``.
 
-    This is the step-1 kernel of HAMMER and the body of ``average_chs``.  Two
-    strategies, chosen by cost model:
-
-    * **dense** — for narrow registers where ``O(n * 2**n)`` Walsh–Hadamard
-      work beats the ``O(N^2)`` pairwise sweep (large supports);
-    * **blocked** — popcount distances in fixed-size row blocks, one weighted
-      ``bincount`` per block (bounded memory, no strings anywhere).
-
-    Always returns a vector of length ``num_bits + 1`` with zeros beyond
-    ``limit``.
+    Thin wrapper over :func:`repro.core.kernels.chs_histogram`, which picks
+    the cheapest plan per input shape (dense Walsh–Hadamard, blocked ordered
+    pairs, or the symmetric triangular sweep).  Always returns a vector of
+    length ``num_bits + 1`` with zeros beyond ``limit``.
     """
-    num_bits = packed.num_bits
-    num_outcomes = packed.num_outcomes
-    limit = min(limit, num_bits)
-    chs = np.zeros(num_bits + 1, dtype=float)
-    if limit < 0:
-        return chs
-    dense_cost = (3 * num_bits + 1) * (1 << num_bits) if num_bits <= _DENSE_CHS_MAX_BITS else None
-    if dense_cost is not None and dense_cost < num_outcomes * num_outcomes:
-        return _dense_xor_distance_histogram(packed, weights, limit)
-    block_size = pairwise_block_size(num_outcomes)
-    for start in range(0, num_outcomes, block_size):
-        distances = packed.block_distances(start, min(start + block_size, num_outcomes))
-        within = distances <= limit
-        if within.any():
-            chs[: limit + 1] += np.bincount(
-                distances[within],
-                weights=np.broadcast_to(weights, distances.shape)[within],
-                minlength=limit + 1,
-            )[: limit + 1]
-    return chs
+    return chs_histogram(packed, weights, limit)
 
 
 def pack_bitstrings(bitstrings: Sequence[str]) -> np.ndarray:

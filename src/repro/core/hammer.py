@@ -35,12 +35,14 @@ so the ablation studies in ``benchmarks/`` can toggle them.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.bitstring import pairwise_block_size, xor_distance_histogram
 from repro.core.distribution import Distribution
+from repro.core.kernels import hammer_pass
+from repro.core.profiling import record_phase_seconds
 from repro.core.weights import InverseChsWeights, WeightScheme, resolve_weight_scheme
 from repro.exceptions import DistributionError
 
@@ -119,6 +121,9 @@ class HammerResult:
     average_chs: np.ndarray
     scores: dict[str, float]
     config: HammerConfig
+    #: Kernel plan the pairwise pass dispatched to ("dense" for the exact
+    #: legacy arithmetic at small supports, "tiled"/"streaming" above).
+    kernel: str = "dense"
 
     @property
     def num_bits(self) -> int:
@@ -191,40 +196,28 @@ def neighborhood_scores(
     cutoff = cfg.resolved_cutoff(num_bits)
     packed = distribution.packed()
     probabilities = packed.probabilities
-    num_outcomes = packed.num_outcomes
-    block_size = pairwise_block_size(num_outcomes)
+    started = time.perf_counter()
 
-    # Step 1: Algorithm-1 style CHS (total P(y) over all ordered pairs per
-    # distance), via the shared dense-WHT / blocked-popcount kernel.
-    chs = xor_distance_histogram(packed, probabilities, min(cutoff, num_bits + 1) - 1)
-
-    # Step 2: per-distance weights.
+    # Steps 1-3 run through the shape-dispatched kernel layer: the CHS
+    # spectrum, the per-distance weights and the neighbourhood scores come
+    # back from one call (fused into a single pairwise traversal wherever the
+    # plan allows it).
     scheme = resolve_weight_scheme(cfg.weight_scheme)
-    weights = scheme.compute(chs, num_bits, cutoff)
-    if len(weights) < num_bits + 1:
-        weights = np.pad(weights, (0, num_bits + 1 - len(weights)))
 
-    # Step 3: neighbourhood scores, block by block.
-    scores = np.zeros(num_outcomes, dtype=float)
-    for start in range(0, num_outcomes, block_size):
-        stop = min(start + block_size, num_outcomes)
-        distances = packed.block_distances(start, stop)
-        weight_of_pair = weights[distances]
-        within_cutoff = distances < cutoff
-        if cfg.use_filter:
-            allowed = probabilities[start:stop, None] > probabilities[None, :]
-        else:
-            allowed = np.ones_like(within_cutoff, dtype=bool)
-            rows = np.arange(start, stop)
-            allowed[np.arange(rows.size), rows] = False
-        contribution = np.where(
-            within_cutoff & allowed, weight_of_pair * probabilities[None, :], 0.0
-        )
-        scores[start:stop] = contribution.sum(axis=1)
+    def weight_fn(chs: np.ndarray) -> np.ndarray:
+        weights = scheme.compute(chs, num_bits, cutoff)
+        if len(weights) < num_bits + 1:
+            weights = np.pad(weights, (0, num_bits + 1 - len(weights)))
+        return weights
+
+    chs, weights, scores, plan = hammer_pass(
+        packed, probabilities, cutoff, weight_fn, cfg.use_filter
+    )
     if cfg.include_self_probability:
         scores = scores + probabilities
 
     updated = scores * probabilities
+    record_phase_seconds("hammer", time.perf_counter() - started)
     total = float(updated.sum())
     if total <= 0:
         reconstructed = distribution.normalized()
@@ -240,6 +233,7 @@ def neighborhood_scores(
         average_chs=chs,
         scores={outcome: float(score) for outcome, score in zip(distribution.outcomes(), scores)},
         config=cfg,
+        kernel=plan,
     )
 
 

@@ -1,0 +1,524 @@
+"""Shape-adaptive pairwise Hamming kernels behind HAMMER and the CHS spectrum.
+
+Every ``O(N^2)`` hot path of the reproduction — HAMMER's step-1 CHS
+accumulation, its step-3 neighbourhood scores, and ``average_chs`` — runs
+through this module.  A shape-based dispatcher picks the cheapest plan for
+each ``(support size, register width)``:
+
+``dense``
+    Small supports (``N <= 1024``).  The full pairwise structure fits in one
+    block, evaluated with the historical (PR 1-4) arithmetic: dense
+    Walsh–Hadamard CHS where the hypercube is cheap, blocked ordered-pair
+    popcounts otherwise, and a full ordered score pass.  This plan is kept
+    **bit-identical** to previous releases — the golden regression fixtures
+    (and every published row table at laptop scale) reproduce exactly.
+
+``tiled``
+    Large supports at device-scale widths (up to ~10 uint64 words).  The CHS
+    spectrum comes first — the dense Walsh–Hadamard transform in
+    ``O(n * 2^n)`` where the hypercube is cheap, otherwise one symmetric
+    triangular sweep — and with the per-distance weights then known, the
+    score pass walks only the upper triangle of the pair matrix in
+    cache-blocked tiles: each unordered pair's distance is popcounted
+    **once** and its gathered weight serves both score directions, halving
+    both the popcount and the gather work of the historical ordered pass.
+
+``streaming``
+    Large supports on very wide registers (>= ~640 bits), where per-pair
+    popcount work dominates every accumulation.  One fused triangular
+    traversal accumulates the CHS histogram *and* a per-row filtered
+    distance-mass matrix ``M[x, d] = sum(P(y) : d(x,y)=d, P(y)<P(x))`` in
+    bounded-memory tile chunks; the scores then follow as a single ``M @ W``
+    product.  The packed matrix is traversed exactly once (PR 4 walked it
+    once for the CHS spectrum and again for the scores).
+
+``legacy``
+    The PR 4 two-pass arithmetic at *any* support size.  Never chosen by the
+    dispatcher — it exists as the benchmark baseline and as the differential
+    reference for the property tests (``REPRO_HAMMER_KERNEL=legacy``).
+
+The popcount primitive is runtime-dispatched at import: ``np.bitwise_count``
+where the running NumPy provides it (>= 2.0), a byte-table lookup fallback
+otherwise.  All tile/block sizes come from :mod:`repro.core.tuning`
+(cache-derived at import, env-overridable, deterministic per machine).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core import tuning
+from repro.exceptions import DistributionError
+
+__all__ = [
+    "popcount_u64",
+    "has_fast_popcount",
+    "choose_plan",
+    "chs_histogram",
+    "hammer_pass",
+    "walsh_hadamard_inplace",
+    "DENSE_CHS_MAX_BITS",
+    "DENSE_SUPPORT_MAX",
+]
+
+# ---------------------------------------------------------------------------
+# Popcount dispatch
+# ---------------------------------------------------------------------------
+_HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Per-byte popcount table for the NumPy < 2 fallback.
+_POPCOUNT_LUT = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
+
+
+def has_fast_popcount() -> bool:
+    """True when the running NumPy provides a native ``bitwise_count``."""
+    return _HAVE_BITWISE_COUNT
+
+
+def _popcount_lut_u64(values: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array via the byte-LUT fallback.
+
+    Used as :func:`popcount_u64` on NumPy < 2 (no ``np.bitwise_count``);
+    kept importable on every NumPy so the differential test can hold the
+    two implementations against each other.
+    """
+    contiguous = np.ascontiguousarray(values, dtype=np.uint64)
+    as_bytes = contiguous.view(np.uint8).reshape(contiguous.shape + (8,))
+    return _POPCOUNT_LUT[as_bytes].sum(axis=-1, dtype=np.uint8)
+
+
+if _HAVE_BITWISE_COUNT:
+
+    def popcount_u64(values: np.ndarray) -> np.ndarray:
+        """Per-element popcount of a uint64 array (native ``np.bitwise_count``)."""
+        return np.bitwise_count(values)
+
+else:  # pragma: no cover - exercised only on NumPy < 2
+    popcount_u64 = _popcount_lut_u64
+
+
+# ---------------------------------------------------------------------------
+# Shared primitives
+# ---------------------------------------------------------------------------
+#: Widest register for which the dense Walsh–Hadamard CHS path is considered
+#: (2**20 float64 work vectors = 8 MiB each).
+DENSE_CHS_MAX_BITS = 20
+
+#: Largest support handled by the ``dense`` plan (the bit-identical legacy
+#: arithmetic).  Laptop-scale sweeps — including every golden fixture — stay
+#: below this; bigger supports dispatch to the tiled/streaming kernels.
+DENSE_SUPPORT_MAX = 1024
+
+
+def _tile_distances(words_a: np.ndarray, words_b: np.ndarray) -> np.ndarray:
+    """Pairwise distances between two row blocks, in the narrowest dtype.
+
+    Single-word registers (width <= 64) stay in uint8 straight out of the
+    popcount; wider registers accumulate per-word counts in uint16.  Both are
+    valid fancy indices into the weight vector, so no int64 widening ever
+    happens inside a tile.
+    """
+    num_words = words_a.shape[1]
+    first = popcount_u64(np.bitwise_xor.outer(words_a[:, 0], words_b[:, 0]))
+    if num_words == 1:
+        return first
+    distances = first.astype(np.uint16)
+    for word_index in range(1, num_words):
+        xor = np.bitwise_xor.outer(words_a[:, word_index], words_b[:, word_index])
+        distances += popcount_u64(xor)
+    return distances
+
+
+def walsh_hadamard_inplace(vector: np.ndarray) -> np.ndarray:
+    """Unnormalised fast Walsh–Hadamard transform, O(n * 2**n)."""
+    half = 1
+    size = vector.size
+    while half < size:
+        paired = vector.reshape(-1, 2 * half)
+        left = paired[:, :half].copy()
+        right = paired[:, half:].copy()
+        paired[:, :half] = left + right
+        paired[:, half:] = left - right
+        half *= 2
+    return vector
+
+
+def _dense_chs(packed, weights: np.ndarray, limit: int) -> np.ndarray:
+    """CHS via the XOR-convolution theorem on the dense hypercube.
+
+    ``chs[d] = Σ_{x,y: d(x,y)=d} w(y)`` equals the sum of the XOR-convolution
+    ``(f ⊛ w)(z) = Σ_x f(x) w(x ⊕ z)`` (``f`` the support indicator) over all
+    ``z`` of popcount ``d`` — three Walsh–Hadamard transforms instead of an
+    ``O(N^2)`` pairwise sweep.
+    """
+    num_bits = packed.num_bits
+    size = 1 << num_bits
+    indices = packed.words[:, 0].astype(np.int64)
+    support = np.zeros(size, dtype=float)
+    support[indices] = 1.0
+    weighted = np.zeros(size, dtype=float)
+    weighted[indices] = weights
+    product = walsh_hadamard_inplace(support) * walsh_hadamard_inplace(weighted)
+    convolution = walsh_hadamard_inplace(product) / size
+    popcounts = popcount_u64(np.arange(size, dtype=np.uint64)).astype(np.int64)
+    histogram = np.bincount(popcounts, weights=convolution, minlength=num_bits + 1)[
+        : num_bits + 1
+    ]
+    # The transform leaves ~1e-13-relative fuzz where the exact answer is 0;
+    # snap it out so downstream 1/CHS weighting never divides by noise.
+    histogram[np.abs(histogram) < 1e-10 * max(1.0, float(np.abs(histogram).max()))] = 0.0
+    np.clip(histogram, 0.0, None, out=histogram)
+    histogram[limit + 1 :] = 0.0
+    return histogram
+
+
+def _dense_chs_cost(num_bits: int) -> int | None:
+    """Work estimate of the dense WHT path (``None`` when the width is too wide)."""
+    if num_bits > DENSE_CHS_MAX_BITS:
+        return None
+    return (3 * num_bits + 1) * (1 << num_bits)
+
+
+def _blocked_chs(packed, weights: np.ndarray, limit: int) -> np.ndarray:
+    """Historical ordered-pair blocked CHS (bit-identical to PR 1-4).
+
+    ``packed.block_distances`` is the single home of the int64 ordered-pair
+    arithmetic the bit-stable plans depend on — it is deliberately not
+    duplicated here.
+    """
+    num_bits = packed.num_bits
+    num_outcomes = packed.num_outcomes
+    chs = np.zeros(num_bits + 1, dtype=float)
+    block_size = tuning.pairwise_block_size(num_outcomes)
+    for start in range(0, num_outcomes, block_size):
+        distances = packed.block_distances(start, min(start + block_size, num_outcomes))
+        within = distances <= limit
+        if within.any():
+            chs[: limit + 1] += np.bincount(
+                distances[within],
+                weights=np.broadcast_to(weights, distances.shape)[within],
+                minlength=limit + 1,
+            )[: limit + 1]
+    return chs
+
+
+# ---------------------------------------------------------------------------
+# Symmetric triangular sweeps (the tiled / streaming fast paths)
+# ---------------------------------------------------------------------------
+def _symmetric_scores(
+    packed, probabilities: np.ndarray, weights: np.ndarray, cutoff: int, use_filter: bool
+) -> np.ndarray:
+    """Neighbourhood scores with known per-distance weights, one triangular pass.
+
+    The cutoff mask (``distance < cutoff``) is folded into the weight gather
+    by zeroing a local copy of the weight vector at and beyond the cutoff —
+    exactly the entries the historical pass masked out pairwise.  Each
+    unordered pair's distance and gathered weight are computed once and serve
+    both score directions.
+    """
+    words = packed.words
+    num_outcomes = packed.num_outcomes
+    weights = weights.astype(float, copy=True)
+    if cutoff < weights.size:
+        weights[cutoff:] = 0.0
+    scores = np.zeros(num_outcomes, dtype=float)
+    tile_rows, tile_cols = tuning.tile_shape(num_outcomes)
+    for i0 in range(0, num_outcomes, tile_rows):
+        i1 = min(i0 + tile_rows, num_outcomes)
+        p_i = probabilities[i0:i1]
+        # Diagonal square: every ordered pair inside [i0, i1) in one shot.
+        gathered = weights.take(_tile_distances(words[i0:i1], words[i0:i1]))
+        if use_filter:
+            np.multiply(gathered, p_i[:, None] > p_i[None, :], out=gathered)
+        else:
+            np.fill_diagonal(gathered, 0.0)
+        scores[i0:i1] += gathered @ p_i
+        # Strictly-right tiles: one distance/gather per unordered pair,
+        # accumulated into both directions.
+        for j0 in range(i1, num_outcomes, tile_cols):
+            j1 = min(j0 + tile_cols, num_outcomes)
+            p_j = probabilities[j0:j1]
+            gathered = weights.take(_tile_distances(words[i0:i1], words[j0:j1]))
+            if use_filter:
+                scores[i0:i1] += (gathered * (p_i[:, None] > p_j[None, :])) @ p_j
+                scores[j0:j1] += p_i @ (gathered * (p_i[:, None] < p_j[None, :]))
+            else:
+                scores[i0:i1] += gathered @ p_j
+                scores[j0:j1] += p_i @ gathered
+    return scores
+
+
+def _bincount_rows(
+    flat_bins: np.ndarray, flat_weights: np.ndarray, num_rows: int, num_bins: int
+) -> np.ndarray:
+    """Weighted per-row histogram via one flat ``bincount``."""
+    return np.bincount(
+        flat_bins.ravel(), weights=flat_weights.ravel(), minlength=num_rows * num_bins
+    ).reshape(num_rows, num_bins)
+
+
+def _symmetric_chs_mass(
+    packed,
+    pair_weights: np.ndarray,
+    limit: int,
+    probabilities: np.ndarray | None = None,
+    use_filter: bool = True,
+):
+    """Fused triangular traversal: CHS histogram + optional per-row mass matrix.
+
+    Returns ``(chs, mass)`` where ``chs[d] = Σ_{x,y: d(x,y)=d, d<=limit}
+    pair_weights[y]`` (ordered pairs, self pairs included — Algorithm-1
+    semantics) and, when ``probabilities`` is given, ``mass[x, d]`` is the
+    filtered neighbourhood mass ``Σ { P(y) : d(x,y)=d, P(y) < P(x) }``
+    (``use_filter=True``) or the unfiltered off-diagonal mass otherwise.
+    Each unordered pair is popcounted exactly once.
+    """
+    words = packed.words
+    num_outcomes = packed.num_outcomes
+    num_bits = packed.num_bits
+    num_bins = limit + 2  # [0, limit] real bins + one overflow sentinel
+    chs = np.zeros(num_bins, dtype=float)
+    want_mass = probabilities is not None
+    mass = np.zeros((num_outcomes, num_bins), dtype=float) if want_mass else None
+    tile_rows, tile_cols = tuning.tile_shape(num_outcomes)
+    sentinel = np.int64(limit + 1)
+    for i0 in range(0, num_outcomes, tile_rows):
+        i1 = min(i0 + tile_rows, num_outcomes)
+        rows = i1 - i0
+        w_i = pair_weights[i0:i1]
+        # Diagonal square (covers both ordered directions within the block).
+        bins = np.minimum(_tile_distances(words[i0:i1], words[i0:i1]), sentinel)
+        chs += np.bincount(
+            bins.ravel(),
+            weights=np.broadcast_to(w_i[None, :], bins.shape).ravel(),
+            minlength=num_bins,
+        )[:num_bins]
+        if want_mass:
+            p_i = probabilities[i0:i1]
+            if use_filter:
+                tile_mass = np.where(p_i[:, None] > p_i[None, :], p_i[None, :], 0.0)
+            else:
+                tile_mass = np.broadcast_to(p_i[None, :], bins.shape).copy()
+                np.fill_diagonal(tile_mass, 0.0)
+            flat = bins + (num_bins * np.arange(rows, dtype=np.int64))[:, None]
+            mass[i0:i1] += _bincount_rows(flat, tile_mass, rows, num_bins)
+        for j0 in range(i1, num_outcomes, tile_cols):
+            j1 = min(j0 + tile_cols, num_outcomes)
+            cols = j1 - j0
+            w_j = pair_weights[j0:j1]
+            bins = np.minimum(_tile_distances(words[i0:i1], words[j0:j1]), sentinel)
+            flat_bins = bins.ravel()
+            # CHS takes both ordered directions from the one distance tile.
+            chs += np.bincount(
+                flat_bins,
+                weights=np.broadcast_to(w_j[None, :], bins.shape).ravel(),
+                minlength=num_bins,
+            )[:num_bins]
+            chs += np.bincount(
+                flat_bins,
+                weights=np.broadcast_to(w_i[:, None], bins.shape).ravel(),
+                minlength=num_bins,
+            )[:num_bins]
+            if want_mass:
+                p_i = probabilities[i0:i1]
+                p_j = probabilities[j0:j1]
+                if use_filter:
+                    mass_ij = np.where(p_i[:, None] > p_j[None, :], p_j[None, :], 0.0)
+                    mass_ji = np.where(p_i[:, None] < p_j[None, :], p_i[:, None], 0.0)
+                else:
+                    mass_ij = np.broadcast_to(p_j[None, :], bins.shape)
+                    mass_ji = np.broadcast_to(p_i[:, None], bins.shape)
+                flat = bins + (num_bins * np.arange(rows, dtype=np.int64))[:, None]
+                mass[i0:i1] += _bincount_rows(flat, mass_ij, rows, num_bins)
+                flat = bins + (num_bins * np.arange(cols, dtype=np.int64))[None, :]
+                mass[j0:j1] += _bincount_rows(flat, mass_ji, cols, num_bins)
+    chs_full = np.zeros(num_bits + 1, dtype=float)
+    stop = min(limit, num_bits) + 1
+    chs_full[:stop] = chs[:stop]
+    return chs_full, mass
+
+
+# ---------------------------------------------------------------------------
+# Plan dispatch
+# ---------------------------------------------------------------------------
+#: Word count beyond which the fused single-traversal (streaming) plan beats
+#: the two-sweep tiled plan: one traversal halves the per-pair XOR/popcount
+#: work, which only dominates the tile accumulations once a register spans
+#: this many uint64 words (measured crossover ~10 words / ~640 bits).
+STREAMING_MIN_WORDS = 10
+
+
+def choose_plan(num_outcomes: int, num_bits: int) -> str:
+    """Pick the cheapest kernel plan for a ``(support size, width)`` shape.
+
+    * ``dense`` — supports up to :data:`DENSE_SUPPORT_MAX`: the full pair
+      matrix fits in one block and the historical arithmetic is both fastest
+      and bit-stable (golden fixtures live here).
+    * ``tiled`` — large supports at register widths up to
+      :data:`STREAMING_MIN_WORDS` words: CHS first (dense Walsh–Hadamard
+      where the hypercube is cheap, one symmetric sweep otherwise), then a
+      weight-gather score sweep over the upper triangle.
+    * ``streaming`` — large supports on very wide registers, where popcounts
+      dominate: one fused triangular traversal for CHS + filtered mass.
+    """
+    override = tuning.kernel_override()
+    if override is not None:
+        return override
+    if num_outcomes <= DENSE_SUPPORT_MAX:
+        return "dense"
+    if (num_bits + 63) // 64 >= STREAMING_MIN_WORDS:
+        return "streaming"
+    return "tiled"
+
+
+def chs_histogram(packed, weights: np.ndarray, limit: int, plan: str | None = None) -> np.ndarray:
+    """Per-distance pair mass ``chs[d] = Σ_{x,y: d(x,y)=d, d<=limit} w(y)``.
+
+    The step-1 kernel of HAMMER and the body of ``average_chs``.  Always
+    returns a vector of length ``num_bits + 1`` with zeros beyond ``limit``.
+    Plans: the dense Walsh–Hadamard transform wherever it beats the pairwise
+    sweep (unchanged, bit-identical arithmetic), the historical blocked
+    ordered sweep at small supports, and the symmetric triangular sweep —
+    half the popcounts — at large ones.
+    """
+    num_bits = packed.num_bits
+    num_outcomes = packed.num_outcomes
+    limit = min(limit, num_bits)
+    if plan is not None and plan not in tuning.KERNEL_PLANS:
+        raise DistributionError(
+            f"unknown kernel plan {plan!r}; expected one of {tuning.KERNEL_PLANS}"
+        )
+    if limit < 0:
+        return np.zeros(num_bits + 1, dtype=float)
+    if plan is None:
+        plan = tuning.kernel_override()
+    # The dense-WHT eligibility rule predates the symmetric kernels and is
+    # kept verbatim: whenever it fires the result is bit-identical to PR 1-4.
+    dense_cost = _dense_chs_cost(num_bits)
+    dense_eligible = dense_cost is not None and dense_cost < num_outcomes * num_outcomes
+    if plan is None:
+        if dense_eligible:
+            return _dense_chs(packed, weights, limit)
+        if num_outcomes <= DENSE_SUPPORT_MAX:
+            return _blocked_chs(packed, weights, limit)
+    elif plan in ("legacy", "dense"):
+        if dense_eligible:
+            return _dense_chs(packed, weights, limit)
+        return _blocked_chs(packed, weights, limit)
+    elif plan == "tiled" and dense_eligible:
+        return _dense_chs(packed, weights, limit)
+    chs, _ = _symmetric_chs_mass(packed, weights, limit)
+    return chs
+
+
+def _legacy_pass(
+    packed,
+    probabilities: np.ndarray,
+    cutoff: int,
+    weight_fn: Callable[[np.ndarray], np.ndarray],
+    use_filter: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The PR 4 two-pass HAMMER arithmetic, preserved bit-for-bit.
+
+    Pass 1 computes the CHS spectrum (dense WHT or blocked ordered pairs);
+    pass 2 re-popcounts every ordered pair to accumulate the scores.  The
+    ``dense`` plan routes here so small supports — every golden fixture —
+    reproduce exactly; ``REPRO_HAMMER_KERNEL=legacy`` forces it at any size
+    as the benchmark baseline.
+    """
+    num_bits = packed.num_bits
+    num_outcomes = packed.num_outcomes
+    block_size = tuning.pairwise_block_size(num_outcomes)
+
+    limit = min(cutoff, num_bits + 1) - 1
+    dense_cost = _dense_chs_cost(num_bits)
+    if limit < 0:
+        chs = np.zeros(num_bits + 1, dtype=float)
+    elif dense_cost is not None and dense_cost < num_outcomes * num_outcomes:
+        chs = _dense_chs(packed, probabilities, min(limit, num_bits))
+    else:
+        chs = _blocked_chs(packed, probabilities, min(limit, num_bits))
+
+    weights = weight_fn(chs)
+
+    scores = np.zeros(num_outcomes, dtype=float)
+    for start in range(0, num_outcomes, block_size):
+        stop = min(start + block_size, num_outcomes)
+        distances = packed.block_distances(start, stop)
+        weight_of_pair = weights[distances]
+        within_cutoff = distances < cutoff
+        if use_filter:
+            allowed = probabilities[start:stop, None] > probabilities[None, :]
+        else:
+            allowed = np.ones_like(within_cutoff, dtype=bool)
+            rows = np.arange(start, stop)
+            allowed[np.arange(rows.size), rows] = False
+        contribution = np.where(
+            within_cutoff & allowed, weight_of_pair * probabilities[None, :], 0.0
+        )
+        scores[start:stop] = contribution.sum(axis=1)
+    return chs, weights, scores
+
+
+def hammer_pass(
+    packed,
+    probabilities: np.ndarray,
+    cutoff: int,
+    weight_fn: Callable[[np.ndarray], np.ndarray],
+    use_filter: bool,
+    plan: str | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, str]:
+    """Steps 1-3 of HAMMER (CHS, weights, neighbourhood scores) in one call.
+
+    ``weight_fn`` maps the raw CHS histogram to the padded per-distance
+    weight vector (length ``num_bits + 1``, zero at and beyond ``cutoff``).
+    Returns ``(chs, weights, scores, plan_used)``.
+    """
+    if plan is None:
+        plan = choose_plan(packed.num_outcomes, packed.num_bits)
+    elif plan not in tuning.KERNEL_PLANS:
+        raise DistributionError(
+            f"unknown kernel plan {plan!r}; expected one of {tuning.KERNEL_PLANS}"
+        )
+    num_bits = packed.num_bits
+    limit = min(cutoff, num_bits + 1) - 1
+
+    if plan in ("dense", "legacy"):
+        chs, weights, scores = _legacy_pass(
+            packed, probabilities, cutoff, weight_fn, use_filter
+        )
+        return chs, weights, scores, plan
+
+    if plan == "tiled":
+        # CHS first (dense WHT where eligible, else one symmetric sweep);
+        # scores in a second symmetric sweep with the weights in hand.
+        dense_cost = _dense_chs_cost(num_bits)
+        if limit < 0:
+            chs = np.zeros(num_bits + 1, dtype=float)
+        elif dense_cost is not None and dense_cost < packed.num_outcomes**2:
+            chs = _dense_chs(packed, probabilities, min(limit, num_bits))
+        else:
+            chs, _ = _symmetric_chs_mass(packed, probabilities, min(limit, num_bits))
+        weights = weight_fn(chs)
+        scores = _symmetric_scores(packed, probabilities, weights, cutoff, use_filter)
+        return chs, weights, scores, plan
+
+    # streaming: one fused traversal for CHS + filtered mass, then M @ W.
+    if limit < 0:
+        chs = np.zeros(num_bits + 1, dtype=float)
+        weights = weight_fn(chs)
+        scores = np.zeros(packed.num_outcomes, dtype=float)
+        return chs, weights, scores, plan
+    chs, mass = _symmetric_chs_mass(
+        packed,
+        probabilities,
+        min(limit, num_bits),
+        probabilities=probabilities,
+        use_filter=use_filter,
+    )
+    weights = weight_fn(chs)
+    stop = min(limit, num_bits) + 1
+    scores = mass[:, :stop] @ weights[:stop]
+    return chs, weights, scores, plan

@@ -21,13 +21,15 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.bitstring import PackedOutcomes, validate_bitstring, xor_distance_histogram
+from repro.core.bitstring import PackedOutcomes, validate_bitstring
 from repro.core.distribution import Distribution
+from repro.core.kernels import chs_histogram
 from repro.exceptions import DistributionError
 
 __all__ = [
     "HammingSpectrum",
     "hamming_spectrum",
+    "spectrum_bins",
     "cumulative_hamming_strength",
     "average_chs",
     "expected_hamming_distance",
@@ -77,11 +79,7 @@ class HammingSpectrum:
 
     def expected_distance(self) -> float:
         """Probability-weighted mean bin index — the EHD of the distribution."""
-        total = float(self.bins.sum())
-        if total <= 0:
-            raise DistributionError("distribution has no probability mass")
-        distances = np.arange(self.num_bits + 1, dtype=float)
-        return float(np.dot(distances, self.bins) / total)
+        return _expected_distance_of_bins(self.bins)
 
     def nonzero_bins(self) -> list[int]:
         """Indices of bins with non-zero probability mass."""
@@ -111,6 +109,37 @@ def distance_to_correct_set(outcome: str, correct_outcomes: Sequence[str]) -> in
     validate_bitstring(outcome)
     correct = _packed_correct_set(correct_outcomes, len(outcome))
     return int(correct.distances_to_reference(outcome).min())
+
+
+def spectrum_bins(
+    distribution: Distribution, correct_outcomes: Sequence[str]
+) -> np.ndarray:
+    """Hamming-spectrum bins only — no per-outcome members, no strings.
+
+    ``bins[d]`` is the probability mass at shortest distance ``d`` to the
+    correct set, exactly as :func:`hamming_spectrum` computes it, but the
+    expensive per-bin ``(outcome, probability)`` membership lists (which
+    force every support row to be rendered to a string) are skipped.  The
+    summary metrics in :mod:`repro.metrics.hamming_metrics` — EHD, cluster
+    density, structure ratio — only need the bins, so at large supports they
+    run entirely on the packed view.
+    """
+    num_bits = distribution.num_bits
+    correct = _packed_correct_set(correct_outcomes, num_bits)
+    packed = distribution.packed()
+    distances = packed.min_distances_to(correct)
+    return np.bincount(
+        distances, weights=packed.probabilities, minlength=num_bits + 1
+    )[: num_bits + 1].astype(float)
+
+
+def _expected_distance_of_bins(bins: np.ndarray) -> float:
+    """Probability-weighted mean bin index (shared EHD arithmetic)."""
+    total = float(bins.sum())
+    if total <= 0:
+        raise DistributionError("distribution has no probability mass")
+    distances = np.arange(bins.size, dtype=float)
+    return float(np.dot(distances, bins) / total)
 
 
 def hamming_spectrum(
@@ -191,7 +220,7 @@ def average_chs(distribution: Distribution, max_distance: int | None = None) -> 
     num_bits = distribution.num_bits
     limit = num_bits if max_distance is None else max_distance
     packed = distribution.packed()
-    chs = xor_distance_histogram(packed, packed.probabilities, min(limit, num_bits))
+    chs = chs_histogram(packed, packed.probabilities, min(limit, num_bits))
     result = np.zeros(limit + 1, dtype=float)
     copy_length = min(limit, num_bits) + 1
     result[:copy_length] = chs[:copy_length]
@@ -205,9 +234,10 @@ def expected_hamming_distance(
 
     EHD is the probability-weighted mean of the shortest Hamming distance
     between each outcome and the correct set.  It is 0 for a perfect
-    distribution and approaches ``n / 2`` for uniform errors.
+    distribution and approaches ``n / 2`` for uniform errors.  Computed on
+    the bins-only fast path (no per-outcome strings are rendered).
     """
-    return hamming_spectrum(distribution, correct_outcomes).expected_distance()
+    return _expected_distance_of_bins(spectrum_bins(distribution, correct_outcomes))
 
 
 def uniform_model_ehd(num_bits: int) -> float:

@@ -13,11 +13,20 @@ three phases, deduplicating shared work through the content-addressed
    Clifford circuits, which unlocks device-scale widths).  The resolved
    backend is part of the cache key.
 3. **Sampling** — every job draws its noisy histogram with its own RNG.
+   Bit-flip jobs that share an executed circuit and noise fingerprint are
+   *grouped*: the circuit-dependent noise arrays and ideal support views
+   are built once per group and the per-job shot matrices are packed in a
+   single vectorized pass — while each job still consumes its own seed
+   stream, so grouped histograms are bit-identical to ungrouped ones.
+   Jobs above the shard threshold (``REPRO_SAMPLE_SHARD_SHOTS``, default
+   262,144) are split into fixed-size shot chunks with per-chunk seed
+   streams; chunk histograms merge in a deterministic reduction order, so
+   million-shot sweeps run in bounded memory and fan out over workers.
    Histograms are cached under a key that includes the noise model's
-   fingerprint (with any calibration snapshot) *and* the job's seed
-   entropy, so re-running a sweep with the same seed skips the sampling
-   too, while heterogeneous (calibrated) runs never collide with uniform
-   ones.
+   fingerprint (with any calibration snapshot), the job's seed entropy and
+   the shard layout, so re-running a sweep with the same seed skips the
+   sampling too, while heterogeneous (calibrated) runs never collide with
+   uniform ones.
 
 Determinism
 -----------
@@ -37,6 +46,7 @@ absorbs artifacts computed by workers, so worker processes stay stateless.
 
 from __future__ import annotations
 
+import os
 import time
 import weakref
 from collections.abc import Callable, Iterable, Sequence
@@ -48,13 +58,33 @@ import numpy as np
 
 from repro.backends import get_backend, resolve_backend
 from repro.core.distribution import Distribution
+from repro.core.profiling import record_phase_seconds
 from repro.engine.cache import ExecutionCache
-from repro.engine.hashing import circuit_fingerprint, ideal_key, sample_key, transpile_key
+from repro.engine.hashing import (
+    circuit_fingerprint,
+    ideal_key,
+    noise_fingerprint,
+    sample_key,
+    transpile_key,
+)
 from repro.engine.jobs import CircuitJob, JobResult
 from repro.exceptions import BackendError, EngineError
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.sampler import sample_bitflip_distribution, sample_trajectory_distribution
+from repro.quantum.sampler import (
+    merge_counted_chunks,
+    sample_bitflip_batch,
+    sample_bitflip_chunk,
+    sample_trajectory_distribution,
+)
 from repro.quantum.transpiler import transpile
+
+#: Jobs above this many shots are sampled in fixed-size chunks with
+#: per-chunk seed streams (overridable via the environment or the engine
+#: constructor).  Laptop-scale sweeps stay below it, keeping their
+#: historical single-stream histograms bit-identical.
+DEFAULT_SAMPLE_SHARD_SHOTS = 262_144
+
+_ENV_SHARD_SHOTS = "REPRO_SAMPLE_SHARD_SHOTS"
 
 __all__ = ["ExecutionEngine", "EngineRunStats"]
 
@@ -81,6 +111,10 @@ class EngineRunStats:
     stabilizer_jobs: int = 0
     unique_transpiles_computed: int = 0
     unique_ideals_computed: int = 0
+    sample_groups: int = 0
+    grouped_sample_jobs: int = 0
+    sharded_jobs: int = 0
+    sample_shards: int = 0
     prepare_seconds: float = 0.0
     sample_seconds: float = 0.0
     wall_seconds: float = 0.0
@@ -95,6 +129,10 @@ class EngineRunStats:
         self.stabilizer_jobs += other.stabilizer_jobs
         self.unique_transpiles_computed += other.unique_transpiles_computed
         self.unique_ideals_computed += other.unique_ideals_computed
+        self.sample_groups += other.sample_groups
+        self.grouped_sample_jobs += other.grouped_sample_jobs
+        self.sharded_jobs += other.sharded_jobs
+        self.sample_shards += other.sample_shards
         self.prepare_seconds += other.prepare_seconds
         self.sample_seconds += other.sample_seconds
         self.wall_seconds += other.wall_seconds
@@ -111,6 +149,10 @@ class EngineRunStats:
             "stabilizer_jobs": self.stabilizer_jobs,
             "unique_transpiles_computed": self.unique_transpiles_computed,
             "unique_ideals_computed": self.unique_ideals_computed,
+            "sample_groups": self.sample_groups,
+            "grouped_sample_jobs": self.grouped_sample_jobs,
+            "sharded_jobs": self.sharded_jobs,
+            "sample_shards": self.sample_shards,
             "prepare_seconds": self.prepare_seconds,
             "sample_seconds": self.sample_seconds,
             "wall_seconds": self.wall_seconds,
@@ -141,14 +183,43 @@ def _ideal_task(task: tuple) -> tuple[str, Distribution, float]:
     return key, ideal, time.perf_counter() - start
 
 
-def _sample_task(task: tuple) -> tuple[int, Distribution, float]:
-    index, circuit, ideal, noise_model, shots, method, entropy = task
+def _sample_group_task(task: tuple) -> list[tuple[int, Distribution, float]]:
+    """Sample one group of bit-flip jobs sharing (executed circuit, noise model).
+
+    The group's noise arrays and ideal support views are built once; each
+    job draws from its own ``SeedSequence``-derived generator, so results
+    are bit-identical to ungrouped sampling.  The batch wall time is
+    attributed to jobs proportionally to their shot counts.
+    """
+    circuit, ideal, noise_model, requests = task
+    start = time.perf_counter()
+    generators = [
+        (shots, np.random.default_rng(np.random.SeedSequence(entropy)))
+        for _, shots, entropy in requests
+    ]
+    distributions = sample_bitflip_batch(circuit, noise_model, generators, ideal=ideal)
+    elapsed = time.perf_counter() - start
+    total_shots = sum(shots for _, shots, _ in requests)
+    return [
+        (index, noisy, elapsed * shots / total_shots)
+        for (index, shots, _), noisy in zip(requests, distributions)
+    ]
+
+
+def _sample_shard_task(task: tuple) -> tuple[int, int, np.ndarray, np.ndarray, float]:
+    """Draw one fixed-size shot chunk of a sharded job as (words, counts)."""
+    index, chunk, circuit, ideal, noise_model, chunk_shots, entropy = task
     rng = np.random.default_rng(np.random.SeedSequence(entropy))
     start = time.perf_counter()
-    if method == "bitflip":
-        noisy = sample_bitflip_distribution(circuit, noise_model, shots, rng=rng, ideal=ideal)
-    else:
-        noisy = sample_trajectory_distribution(circuit, noise_model, shots, rng=rng)
+    words, counts = sample_bitflip_chunk(circuit, noise_model, chunk_shots, rng, ideal=ideal)
+    return index, chunk, words, counts, time.perf_counter() - start
+
+
+def _sample_trajectory_task(task: tuple) -> tuple[int, Distribution, float]:
+    index, circuit, noise_model, shots, entropy = task
+    rng = np.random.default_rng(np.random.SeedSequence(entropy))
+    start = time.perf_counter()
+    noisy = sample_trajectory_distribution(circuit, noise_model, shots, rng=rng)
     return index, noisy, time.perf_counter() - start
 
 
@@ -177,6 +248,12 @@ class ExecutionEngine:
     cache_dir:
         Convenience: directory for a persistent cache tier.  Ignored when an
         explicit ``cache`` object is passed.
+    sample_shard_shots:
+        Shot count above which a bit-flip job is sampled in fixed-size
+        chunks with per-chunk seed streams (bounded memory, parallelizable,
+        deterministically merged).  ``None`` reads
+        ``REPRO_SAMPLE_SHARD_SHOTS`` and falls back to
+        :data:`DEFAULT_SAMPLE_SHARD_SHOTS`.
     """
 
     def __init__(
@@ -184,10 +261,27 @@ class ExecutionEngine:
         max_workers: int = 1,
         cache: ExecutionCache | None = None,
         cache_dir: str | None = None,
+        sample_shard_shots: int | None = None,
     ) -> None:
         if max_workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = int(max_workers)
+        if sample_shard_shots is None:
+            raw = os.environ.get(_ENV_SHARD_SHOTS)
+            if raw is not None and raw.strip():
+                try:
+                    sample_shard_shots = int(raw)
+                except ValueError as error:
+                    raise EngineError(
+                        f"{_ENV_SHARD_SHOTS} must be an integer, got {raw!r}"
+                    ) from error
+            else:
+                sample_shard_shots = DEFAULT_SAMPLE_SHARD_SHOTS
+        if sample_shard_shots < 1:
+            raise EngineError(
+                f"sample_shard_shots must be >= 1, got {sample_shard_shots}"
+            )
+        self.sample_shard_shots = int(sample_shard_shots)
         self.cache = cache if cache is not None else ExecutionCache(cache_dir)
         self.last_run_stats: EngineRunStats | None = None
         #: Totals over every :meth:`run` since construction.  Studies that
@@ -284,6 +378,7 @@ class ExecutionEngine:
         wall_start: float,
     ) -> list[JobResult]:
         # ---- Phase 1: transpilation (once per unique circuit/target) ----
+        phase_start = time.perf_counter()
         job_tkeys: list[str | None] = []
         transpile_artifacts: dict[str, _TranspileArtifact] = {}
         transpile_owner: dict[str, int] = {}
@@ -308,9 +403,11 @@ class ExecutionEngine:
             transpile_artifacts[key] = artifact
             transpile_seconds[key] = seconds
         stats.unique_transpiles_computed = len(to_transpile)
+        record_phase_seconds("transpile", time.perf_counter() - phase_start)
 
         # ---- Phase 2: ideal distributions (once per unique executed circuit
         # and resolved backend) ----
+        phase_start = time.perf_counter()
         executed_circuits: list[QuantumCircuit] = []
         job_backends: list[str] = []
         job_ikeys: list[str] = []
@@ -364,16 +461,30 @@ class ExecutionEngine:
             ideal_distributions[key] = ideal
             ideal_seconds[key] = seconds
         stats.unique_ideals_computed = len(to_simulate)
+        record_phase_seconds("ideal", time.perf_counter() - phase_start)
 
         # ---- Phase 3: noisy sampling (one independent RNG stream per job) ----
         # The sample cache is keyed on (executed circuit, noise fingerprint —
-        # including any calibration snapshot —, shots, method, seed entropy),
-        # so a hit returns exactly the histogram the per-job RNG stream would
-        # draw and bit-identity across worker counts is preserved.
+        # including any calibration snapshot —, shots, method, seed entropy,
+        # shard layout), so a hit returns exactly the histogram the per-job
+        # RNG stream(s) would draw and bit-identity across worker counts is
+        # preserved.  Cache-miss bit-flip jobs sharing an executed circuit
+        # and noise fingerprint are grouped into one vectorized multi-seed
+        # batch; jobs above the shard threshold fan out into fixed-size shot
+        # chunks that merge in a deterministic reduction order.
+        phase_start = time.perf_counter()
+        shard_shots = self.sample_shard_shots
         sampled_by_index: dict[int, tuple[Distribution, float, bool]] = {}
         job_skeys: list[str] = []
-        sample_tasks: list[tuple] = []
+        trajectory_tasks: list[tuple] = []
+        shard_tasks: list[tuple] = []
+        shard_chunk_counts: dict[int, int] = {}
+        group_members: dict[tuple[str, str], list[int]] = {}
+        # Noise fingerprints are content hashes; memoise per model object so
+        # sweeps reusing one NoiseModel across many jobs hash it once here.
+        noise_fingerprints: dict[int, str] = {}
         for index, job in enumerate(jobs):
+            sharded = job.method == "bitflip" and job.shots > shard_shots
             skey = sample_key(
                 executed_circuits[index],
                 job.noise_model,
@@ -381,26 +492,96 @@ class ExecutionEngine:
                 job.method,
                 (seed, index),
                 backend=job_backends[index],
+                shard_shots=shard_shots if sharded else None,
             )
             job_skeys.append(skey)
             cached = self.cache.get("sample", skey)
             if cached is not None:
+                # Every sampling counter (groups, grouped jobs, sharded jobs,
+                # shards) tracks *computed* work only; cache hits contribute
+                # nothing, the same convention as unique_ideals_computed.
                 sampled_by_index[index] = (cached, 0.0, True)
                 continue
-            sample_tasks.append(
-                (
-                    index,
-                    executed_circuits[index],
-                    ideal_distributions[job_ikeys[index]],
-                    job.noise_model,
-                    job.shots,
-                    job.method,
-                    (seed, index),
+            if job.method == "trajectory":
+                trajectory_tasks.append(
+                    (index, executed_circuits[index], job.noise_model, job.shots, (seed, index))
                 )
-            )
-        for index, noisy, sample_seconds in self._map(pool, _sample_task, sample_tasks):
+                continue
+            if sharded:
+                chunk_sizes = [shard_shots] * (job.shots // shard_shots)
+                if job.shots % shard_shots:
+                    chunk_sizes.append(job.shots % shard_shots)
+                shard_chunk_counts[index] = len(chunk_sizes)
+                stats.sharded_jobs += 1
+                stats.sample_shards += len(chunk_sizes)
+                for chunk, chunk_shots in enumerate(chunk_sizes):
+                    shard_tasks.append(
+                        (
+                            index,
+                            chunk,
+                            executed_circuits[index],
+                            ideal_distributions[job_ikeys[index]],
+                            job.noise_model,
+                            chunk_shots,
+                            (seed, index, chunk),
+                        )
+                    )
+                continue
+            fingerprint = noise_fingerprints.get(id(job.noise_model))
+            if fingerprint is None:
+                fingerprint = noise_fingerprint(job.noise_model)
+                noise_fingerprints[id(job.noise_model)] = fingerprint
+            group_members.setdefault((job_ikeys[index], fingerprint), []).append(index)
+
+        # One logical group per (ideal key, noise fingerprint) with at least
+        # one cache-miss job; worker slicing below is an execution detail and
+        # must not change the reported stats.
+        stats.sample_groups = len(group_members)
+        group_tasks: list[tuple] = []
+        for indices in group_members.values():
+            if len(indices) > 1:
+                stats.grouped_sample_jobs += len(indices)
+            # Grouping must not serialize a parallel run: split each group
+            # into at most ``max_workers`` consecutive slices.  Per-job seed
+            # streams are independent, so the split never changes results.
+            num_slices = min(len(indices), self.max_workers) if pool is not None else 1
+            for slice_index in range(num_slices):
+                members = indices[slice_index::num_slices]
+                if not members:
+                    continue
+                first = members[0]
+                group_tasks.append(
+                    (
+                        executed_circuits[first],
+                        ideal_distributions[job_ikeys[first]],
+                        jobs[first].noise_model,
+                        [(i, jobs[i].shots, (seed, i)) for i in members],
+                    )
+                )
+
+        for task_results in self._map(pool, _sample_group_task, group_tasks):
+            for index, noisy, sample_seconds in task_results:
+                self.cache.put("sample", job_skeys[index], noisy)
+                sampled_by_index[index] = (noisy, sample_seconds, False)
+        for index, noisy, sample_seconds in self._map(
+            pool, _sample_trajectory_task, trajectory_tasks
+        ):
             self.cache.put("sample", job_skeys[index], noisy)
             sampled_by_index[index] = (noisy, sample_seconds, False)
+        if shard_tasks:
+            chunk_results: dict[int, dict[int, tuple[np.ndarray, np.ndarray]]] = {}
+            chunk_seconds: dict[int, float] = {}
+            for index, chunk, words, counts, elapsed in self._map(
+                pool, _sample_shard_task, shard_tasks
+            ):
+                chunk_results.setdefault(index, {})[chunk] = (words, counts)
+                chunk_seconds[index] = chunk_seconds.get(index, 0.0) + elapsed
+            for index, chunks in sorted(chunk_results.items()):
+                ordered = [chunks[chunk] for chunk in range(shard_chunk_counts[index])]
+                noisy = merge_counted_chunks(ordered, executed_circuits[index].num_qubits)
+                self.cache.put("sample", job_skeys[index], noisy)
+                sampled_by_index[index] = (noisy, chunk_seconds[index], False)
+        record_phase_seconds("sample", time.perf_counter() - phase_start)
 
         # ---- Assemble results in batch order ----
         results: list[JobResult] = []

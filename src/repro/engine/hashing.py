@@ -138,6 +138,7 @@ def sample_key(
     method: str,
     entropy: tuple[int, ...],
     backend: str = "statevector",
+    shard_shots: int | None = None,
 ) -> str:
     """Cache key of one noisy sampling run.
 
@@ -149,6 +150,13 @@ def sample_key(
     batch index)``, so including that entropy here makes cached histograms
     exactly the ones an uncached run would draw, preserving worker-count
     bit-identity.
+
+    ``shard_shots`` is the chunk size of a sharded job (``None`` for the
+    unsharded path).  A sharded job consumes per-chunk RNG streams instead
+    of one job stream, so its histogram differs from the unsharded draw at
+    the same entropy — the layout must be part of the key.  Leaving it out
+    of the digest when ``None`` keeps every pre-existing persistent-cache
+    key valid.
     """
     digest = hashlib.sha256(b"repro-sample-v2")
     _hash_circuit_into(digest, circuit)
@@ -160,4 +168,6 @@ def sample_key(
     digest.update(struct.pack("<q", len(entropy)))
     digest.update(struct.pack(f"<{len(entropy)}q", *entropy))
     digest.update(("backend:" + backend).encode("utf-8"))
+    if shard_shots is not None:
+        digest.update(struct.pack("<q", shard_shots))
     return digest.hexdigest()

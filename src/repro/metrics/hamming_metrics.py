@@ -15,7 +15,7 @@ import numpy as np
 from scipy import stats
 
 from repro.core.distribution import Distribution
-from repro.core.spectrum import hamming_spectrum, uniform_model_ehd
+from repro.core.spectrum import _expected_distance_of_bins, spectrum_bins, uniform_model_ehd
 from repro.exceptions import DistributionError
 
 __all__ = [
@@ -65,17 +65,19 @@ def summarize_hamming_structure(
 ) -> HammingStructureSummary:
     """Compute the full Hamming-structure summary for one distribution.
 
-    The spectrum (shortest distances + weighted bincount on the packed view)
-    is computed once; EHD and all derived statistics read its bins.
+    The spectrum bins (shortest distances + weighted bincount on the packed
+    view, via the kernel layer's popcount dispatch) are computed once on the
+    bins-only fast path — no per-outcome membership lists or strings — and
+    EHD and all derived statistics read them.
     """
-    spectrum = hamming_spectrum(distribution, correct_outcomes)
-    ehd = spectrum.expected_distance()
-    mass_within_two = float(spectrum.bins[: min(3, len(spectrum.bins))].sum())
+    bins = spectrum_bins(distribution, correct_outcomes)
+    ehd = _expected_distance_of_bins(bins)
+    mass_within_two = float(bins[: min(3, len(bins))].sum())
     return HammingStructureSummary(
         num_bits=distribution.num_bits,
         ehd=ehd,
         uniform_ehd=uniform_model_ehd(distribution.num_bits),
-        correct_probability=spectrum.correct_probability(),
+        correct_probability=float(bins[0]),
         mass_within_two=mass_within_two,
         num_outcomes=distribution.num_outcomes,
     )
@@ -91,11 +93,11 @@ def cluster_density(
     """
     if radius < 0:
         raise DistributionError(f"radius must be >= 0, got {radius}")
-    spectrum = hamming_spectrum(distribution, correct_outcomes)
-    erroneous_mass = float(spectrum.bins[1:].sum())
+    bins = spectrum_bins(distribution, correct_outcomes)
+    erroneous_mass = float(bins[1:].sum())
     if erroneous_mass <= 0:
         return 1.0
-    clustered = float(spectrum.bins[1 : radius + 1].sum())
+    clustered = float(bins[1 : radius + 1].sum())
     return clustered / erroneous_mass
 
 
@@ -106,7 +108,7 @@ def structure_ratio(distribution: Distribution, correct_outcomes: Sequence[str])
     values close to 1 mean errors are tightly clustered around the correct
     answers.
     """
-    ehd = hamming_spectrum(distribution, correct_outcomes).expected_distance()
+    ehd = _expected_distance_of_bins(spectrum_bins(distribution, correct_outcomes))
     uniform = uniform_model_ehd(distribution.num_bits)
     return float(1.0 - ehd / uniform)
 

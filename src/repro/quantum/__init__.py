@@ -37,6 +37,9 @@ from repro.quantum.noise import NoiseModel, PauliNoise, ReadoutError
 from repro.quantum.sampler import (
     NoisySampler,
     apply_readout_errors,
+    merge_counted_chunks,
+    sample_bitflip_batch,
+    sample_bitflip_chunk,
     sample_bitflip_distribution,
     sample_noisy_distribution,
     sample_trajectory_distribution,
@@ -74,6 +77,9 @@ __all__ = [
     "ReadoutError",
     "NoisySampler",
     "apply_readout_errors",
+    "merge_counted_chunks",
+    "sample_bitflip_batch",
+    "sample_bitflip_chunk",
     "sample_bitflip_distribution",
     "sample_noisy_distribution",
     "sample_trajectory_distribution",

@@ -40,8 +40,12 @@ per-shot strings are ever materialised.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.core.bitstring import PackedOutcomes, pack_bit_matrix
 from repro.core.distribution import Distribution
 from repro.exceptions import CircuitError, NoiseModelError
 from repro.quantum.circuit import QuantumCircuit
@@ -52,6 +56,9 @@ __all__ = [
     "sample_noisy_distribution",
     "sample_trajectory_distribution",
     "sample_bitflip_distribution",
+    "sample_bitflip_batch",
+    "sample_bitflip_chunk",
+    "merge_counted_chunks",
     "apply_readout_errors",
     "NoisySampler",
 ]
@@ -143,6 +150,72 @@ def sample_trajectory_distribution(
     return Distribution.from_bit_matrix(bits, num_bits=circuit.num_qubits)
 
 
+@dataclass(frozen=True)
+class _BitflipPlan:
+    """Shared, job-independent state of the analytic bit-flip sampler.
+
+    Everything here depends only on ``(circuit, noise model, ideal
+    distribution)`` — the per-qubit flip/readout arrays accumulated from the
+    circuit's gate structure, the scramble probability and the ideal support
+    views.  Building the plan once and drawing many jobs (or shot chunks)
+    against it is what the engine's batched sampling amortises; the draw
+    itself consumes each job's RNG in exactly the order the historical
+    single-job path did, so per-job bit matrices are bit-identical whether
+    drawn alone, in a batch, or chunk by chunk.
+    """
+
+    num_qubits: int
+    source_bits: np.ndarray
+    probability_vector: np.ndarray
+    num_outcomes: int
+    flip_probabilities: np.ndarray
+    scramble_probability: float
+    p10: np.ndarray
+    p01: np.ndarray
+
+    @classmethod
+    def build(
+        cls, circuit: QuantumCircuit, noise_model: NoiseModel, ideal: Distribution
+    ) -> "_BitflipPlan":
+        num_qubits = circuit.num_qubits
+        p10, p01 = noise_model.readout_flip_probabilities(num_qubits)
+        return cls(
+            num_qubits=num_qubits,
+            source_bits=ideal.packed().bit_matrix(),
+            probability_vector=ideal.probability_vector(),
+            num_outcomes=ideal.num_outcomes,
+            flip_probabilities=noise_model.accumulated_bitflip_probabilities(circuit),
+            scramble_probability=noise_model.scramble_probability(circuit),
+            p10=p10,
+            p01=p01,
+        )
+
+    def draw(self, shots: int, generator: np.random.Generator) -> np.ndarray:
+        """One ``(shots, n)`` noisy bit matrix, historical RNG draw order."""
+        # Draw shot indices over the ideal support and gather their bit rows
+        # from the cached packed view — no per-shot strings in this path.
+        chosen = generator.choice(self.num_outcomes, size=shots, p=self.probability_vector)
+        bits = self.source_bits[chosen]
+
+        # Gate/idle/crosstalk errors as independent per-qubit flips.
+        gate_flips = generator.random(bits.shape) < self.flip_probabilities[None, :]
+        bits = np.bitwise_xor(bits, gate_flips.astype(np.uint8))
+
+        # Fully scrambled trials: replace with uniform random outcomes.
+        if self.scramble_probability > 0:
+            scrambled = generator.random(shots) < self.scramble_probability
+            if scrambled.any():
+                random_bits = generator.integers(
+                    0, 2, size=(int(scrambled.sum()), self.num_qubits), dtype=np.uint8
+                )
+                bits[scrambled] = random_bits
+
+        # Readout errors.
+        flip_probability = np.where(bits == 0, self.p10[None, :], self.p01[None, :])
+        flips = generator.random(bits.shape) < flip_probability
+        return np.bitwise_xor(bits, flips.astype(np.uint8))
+
+
 def sample_bitflip_distribution(
     circuit: QuantumCircuit,
     noise_model: NoiseModel,
@@ -162,34 +235,88 @@ def sample_bitflip_distribution(
     if shots <= 0:
         raise CircuitError(f"shots must be positive, got {shots}")
     generator = rng if rng is not None else np.random.default_rng()
-    num_qubits = circuit.num_qubits
     if ideal is None:
         ideal = simulate_statevector(circuit).measurement_distribution()
+    plan = _BitflipPlan.build(circuit, noise_model, ideal)
+    bits = plan.draw(shots, generator)
+    return Distribution.from_bit_matrix(bits, num_bits=circuit.num_qubits)
 
-    # Draw shot indices over the ideal support and gather their bit rows from
-    # the cached packed view — no per-shot strings anywhere in this path.
-    chosen = generator.choice(
-        ideal.num_outcomes, size=shots, p=ideal.probability_vector()
-    )
-    bits = ideal.packed().bit_matrix()[chosen]
 
-    # Gate/idle/crosstalk errors as independent per-qubit flips.
-    flip_probabilities = noise_model.accumulated_bitflip_probabilities(circuit)
-    gate_flips = generator.random(bits.shape) < flip_probabilities[None, :]
-    bits = np.bitwise_xor(bits, gate_flips.astype(np.uint8))
+def sample_bitflip_batch(
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel,
+    requests: Sequence[tuple[int, np.random.Generator]],
+    ideal: Distribution | None = None,
+) -> list[Distribution]:
+    """Sample several jobs of the same ``(circuit, noise model)`` as one batch.
 
-    # Fully scrambled trials: replace with uniform random outcomes.
-    scramble_probability = noise_model.scramble_probability(circuit)
-    if scramble_probability > 0:
-        scrambled = generator.random(shots) < scramble_probability
-        if scrambled.any():
-            random_bits = generator.integers(0, 2, size=(int(scrambled.sum()), num_qubits), dtype=np.uint8)
-            bits[scrambled] = random_bits
+    ``requests`` is a sequence of ``(shots, generator)`` pairs, one per job.
+    The circuit-dependent noise arrays and the ideal support views are
+    computed once for the whole batch; each job then draws with its own
+    generator in the historical order, is packed to uint64 words and
+    aggregated immediately — so peak memory is one job's shot matrix, not
+    the group's, and every returned histogram is bit-identical to a lone
+    :func:`sample_bitflip_distribution` call with the same generator state
+    (packing and shot deduplication are row-wise, so doing them per job or
+    over a concatenation is the same arithmetic).
+    """
+    if not requests:
+        return []
+    for shots, _ in requests:
+        if shots <= 0:
+            raise CircuitError(f"shots must be positive, got {shots}")
+    if ideal is None:
+        ideal = simulate_statevector(circuit).measurement_distribution()
+    plan = _BitflipPlan.build(circuit, noise_model, ideal)
+    results: list[Distribution] = []
+    for shots, generator in requests:
+        words = pack_bit_matrix(plan.draw(shots, generator))
+        packed, counts = PackedOutcomes._aggregate_words(words, plan.num_qubits)
+        results.append(Distribution.from_packed(packed, weights=counts))
+    return results
 
-    # Readout errors.
-    bits = _apply_readout_errors_to_bits(bits, noise_model, generator)
 
-    return Distribution.from_bit_matrix(bits, num_bits=num_qubits)
+def sample_bitflip_chunk(
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel,
+    shots: int,
+    rng: np.random.Generator,
+    ideal: Distribution | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One shard of a large job: aggregated ``(words, counts)``, not a Distribution.
+
+    Million-shot jobs are split into fixed-size chunks, each drawn from its
+    own :class:`numpy.random.SeedSequence`-derived generator; a chunk returns
+    its deduplicated packed support and per-outcome shot counts — a compact,
+    picklable partial histogram that :func:`merge_counted_chunks` reduces
+    deterministically.
+    """
+    if shots <= 0:
+        raise CircuitError(f"shots must be positive, got {shots}")
+    if ideal is None:
+        ideal = simulate_statevector(circuit).measurement_distribution()
+    plan = _BitflipPlan.build(circuit, noise_model, ideal)
+    bits = plan.draw(shots, rng)
+    packed, counts = PackedOutcomes.aggregate_bit_matrix(bits)
+    return packed.words, counts
+
+
+def merge_counted_chunks(
+    segments: Sequence[tuple[np.ndarray, np.ndarray]], num_bits: int
+) -> Distribution:
+    """Reduce sharded ``(words, counts)`` partial histograms into one Distribution.
+
+    The reduction is deterministic *regardless of chunk completion order*:
+    callers pass segments in ascending chunk index, the merged support is
+    re-sorted by outcome value, and counts are integer-valued floats whose
+    addition is exact — so ``--jobs 1/2/4`` produce bit-identical rows.
+    """
+    if not segments:
+        raise NoiseModelError("cannot merge zero sampled chunks")
+    words = np.vstack([segment_words for segment_words, _ in segments])
+    counts = np.concatenate([segment_counts for _, segment_counts in segments])
+    packed, totals = PackedOutcomes._aggregate_words(words, num_bits, weights=counts)
+    return Distribution.from_packed(packed, weights=totals)
 
 
 def sample_noisy_distribution(

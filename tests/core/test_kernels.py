@@ -1,0 +1,242 @@
+"""Property suite for the shape-adaptive pairwise Hamming kernels (PR 5).
+
+Every kernel plan — the bit-stable ``dense``/``legacy`` arithmetic, the
+symmetric ``tiled`` sweep and the fused ``streaming`` traversal — must agree
+with ``hammer_reference`` (the paper's Algorithm 1, pure-Python loops) on
+arbitrary supports, including word-boundary widths (63/64/65) and degenerate
+single-outcome distributions.  The popcount dispatch, the shape dispatcher
+and the environment overrides of the tuning layer are covered here too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Distribution, HammerConfig, hammer, hammer_reference
+from repro.core import tuning
+from repro.core.kernels import (
+    DENSE_SUPPORT_MAX,
+    STREAMING_MIN_WORDS,
+    _popcount_lut_u64,
+    choose_plan,
+    chs_histogram,
+    has_fast_popcount,
+    hammer_pass,
+    popcount_u64,
+)
+from repro.core.spectrum import average_chs
+from repro.core.bitstring import pairwise_block_size
+from repro.exceptions import DistributionError
+
+ALL_PLANS = ("dense", "tiled", "streaming", "legacy")
+
+
+@pytest.fixture(autouse=True)
+def _reset_kernel_override():
+    yield
+    tuning.set_kernel_override(None)
+
+
+def _force(plan):
+    tuning.set_kernel_override(plan)
+
+
+@st.composite
+def kernel_distributions(draw):
+    """Random supports biased toward the word-boundary widths 63/64/65."""
+    num_bits = draw(
+        st.one_of(
+            st.sampled_from([63, 64, 65]),
+            st.integers(min_value=1, max_value=70),
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    size = draw(st.integers(min_value=1, max_value=28))
+    rng = np.random.default_rng(seed)
+    bits = np.unique(rng.integers(0, 2, size=(size, num_bits), dtype=np.uint8), axis=0)
+    strings = ["".join("1" if b else "0" for b in row) for row in bits]
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0),
+            min_size=len(strings),
+            max_size=len(strings),
+        )
+    )
+    return Distribution(dict(zip(strings, weights)), num_bits=num_bits)
+
+
+class TestKernelEquivalence:
+    @given(kernel_distributions(), st.booleans(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_all_plans_match_reference(self, dist, use_filter, include_self):
+        config = HammerConfig(use_filter=use_filter, include_self_probability=include_self)
+        reference = hammer_reference(dist, config)
+        for plan in ALL_PLANS:
+            _force(plan)
+            reconstructed = hammer(dist, config)
+            for outcome, probability in reference.probabilities().items():
+                assert reconstructed.probability(outcome) == pytest.approx(
+                    probability, abs=1e-9
+                ), (plan, outcome)
+
+    @given(kernel_distributions())
+    @settings(max_examples=40, deadline=None)
+    def test_chs_plans_agree(self, dist):
+        packed = dist.packed()
+        expected = chs_histogram(packed, packed.probabilities, dist.num_bits, plan="legacy")
+        for plan in ("dense", "tiled", "streaming"):
+            got = chs_histogram(packed, packed.probabilities, dist.num_bits, plan=plan)
+            assert np.allclose(got, expected, atol=1e-9), plan
+
+    @pytest.mark.parametrize("plan", ALL_PLANS)
+    def test_single_outcome_distribution(self, plan):
+        _force(plan)
+        dist = Distribution.point_mass("0" * 65)
+        assert hammer(dist).probability("0" * 65) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("width", [63, 64, 65])
+    def test_word_boundary_widths_large_support(self, width):
+        """The symmetric kernels agree with legacy across the uint64 seam."""
+        rng = np.random.default_rng(width)
+        center = rng.integers(0, 2, size=width, dtype=np.uint8)
+        bits = np.unique(
+            (rng.random((4000, width)) < 0.2).astype(np.uint8) ^ center, axis=0
+        )
+        strings = ["".join("1" if b else "0" for b in row) for row in bits]
+        weights = rng.random(len(strings)) + 0.01
+        dist = Distribution(dict(zip(strings, weights)), num_bits=width)
+        _force("legacy")
+        expected = hammer(dist)
+        for plan in ("tiled", "streaming"):
+            _force(plan)
+            got = hammer(dist)
+            for outcome in expected.probabilities():
+                assert got.probability(outcome) == pytest.approx(
+                    expected.probability(outcome), abs=1e-9
+                ), plan
+
+    def test_unknown_plan_rejected(self):
+        dist = Distribution({"01": 1.0, "10": 1.0})
+        packed = dist.packed()
+        with pytest.raises(DistributionError):
+            hammer_pass(packed, packed.probabilities, 1, lambda chs: chs, True, plan="nope")
+        with pytest.raises(DistributionError):
+            chs_histogram(packed, packed.probabilities, 1, plan="legcay")
+
+
+class TestPopcountDispatch:
+    def test_lut_matches_native(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 2**63, size=(257,), dtype=np.uint64)
+        values[:3] = (0, 1, np.iinfo(np.uint64).max)
+        expected = np.array([bin(int(v)).count("1") for v in values], dtype=np.uint8)
+        assert np.array_equal(_popcount_lut_u64(values), expected)
+        assert np.array_equal(popcount_u64(values), expected)
+
+    def test_lut_handles_2d_and_noncontiguous(self):
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 2**63, size=(8, 6), dtype=np.uint64)
+        assert np.array_equal(_popcount_lut_u64(values.T), popcount_u64(values.T))
+
+    def test_fast_popcount_reports_numpy2(self):
+        assert has_fast_popcount() == hasattr(np, "bitwise_count")
+
+
+class TestDispatcher:
+    def test_small_supports_stay_on_dense(self):
+        assert choose_plan(DENSE_SUPPORT_MAX, 12) == "dense"
+        assert choose_plan(1, 127) == "dense"
+
+    def test_large_supports_tile(self):
+        assert choose_plan(DENSE_SUPPORT_MAX + 1, 12) == "tiled"
+        assert choose_plan(50_000, 127) == "tiled"
+
+    def test_very_wide_registers_stream(self):
+        wide = 64 * STREAMING_MIN_WORDS
+        assert choose_plan(5_000, wide) == "streaming"
+        assert choose_plan(5_000, wide - 64) == "tiled"
+
+    def test_override_wins(self):
+        _force("streaming")
+        assert choose_plan(2, 2) == "streaming"
+
+    def test_hammer_result_reports_plan(self):
+        from repro.core.hammer import neighborhood_scores
+
+        small = Distribution({"01": 1.0, "10": 2.0})
+        assert neighborhood_scores(small).kernel == "dense"
+        _force("tiled")
+        assert neighborhood_scores(small).kernel == "tiled"
+
+
+class TestTuningOverrides:
+    def test_block_entries_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAIRWISE_BLOCK_ENTRIES", str(1 << 20))
+        assert tuning.pairwise_block_entries() == 1 << 20
+        assert pairwise_block_size(2048) == (1 << 20) // 2048
+
+    def test_block_entries_default_is_historical(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAIRWISE_BLOCK_ENTRIES", raising=False)
+        assert tuning.pairwise_block_entries() == 4_000_000
+        assert pairwise_block_size(100) == 100
+
+    def test_block_entries_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAIRWISE_BLOCK_ENTRIES", "many")
+        with pytest.raises(DistributionError):
+            tuning.pairwise_block_entries()
+        monkeypatch.setenv("REPRO_PAIRWISE_BLOCK_ENTRIES", "-3")
+        with pytest.raises(DistributionError):
+            tuning.pairwise_block_entries()
+
+    def test_tile_entries_env_override_and_clamp(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TILE_ENTRIES", str(1 << 22))
+        assert tuning.tile_entries() == 1 << 22
+        monkeypatch.setenv("REPRO_TILE_ENTRIES", "1")
+        assert tuning.tile_entries() == 1 << 20  # clamped to the minimum
+
+    def test_tile_shape_is_deterministic_and_bounded(self):
+        rows, cols = tuning.tile_shape(100_000)
+        assert (rows, cols) == tuning.tile_shape(100_000)
+        assert rows * cols <= 2 * tuning.tile_entries()
+        small_rows, small_cols = tuning.tile_shape(10)
+        assert small_rows == 10 and small_cols == 10
+
+    def test_kernel_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HAMMER_KERNEL", "legacy")
+        assert tuning.kernel_override() == "legacy"
+        monkeypatch.setenv("REPRO_HAMMER_KERNEL", "auto")
+        assert tuning.kernel_override() is None
+        monkeypatch.setenv("REPRO_HAMMER_KERNEL", "warp")
+        with pytest.raises(DistributionError):
+            tuning.kernel_override()
+
+    def test_set_kernel_override_validates(self):
+        with pytest.raises(DistributionError):
+            tuning.set_kernel_override("warp")
+
+    def test_tuning_report_shape(self):
+        report = tuning.tuning_report()
+        assert set(report) == {
+            "cache_bytes",
+            "pairwise_block_entries",
+            "tile_entries",
+            "kernel_override",
+        }
+        assert report["kernel_override"] == "auto"
+
+
+class TestAverageChsRoutesThroughKernels:
+    @pytest.mark.parametrize("plan", ALL_PLANS)
+    def test_average_chs_stable_across_plans(self, plan):
+        rng = np.random.default_rng(9)
+        bits = np.unique(rng.integers(0, 2, size=(300, 65), dtype=np.uint8), axis=0)
+        strings = ["".join("1" if b else "0" for b in row) for row in bits]
+        dist = Distribution(
+            dict(zip(strings, rng.random(len(strings)) + 0.01)), num_bits=65
+        )
+        expected = average_chs(dist)
+        _force(plan)
+        assert np.allclose(average_chs(dist), expected, atol=1e-9)

@@ -1,0 +1,177 @@
+"""Engine phase-3 batching: grouped multi-seed sampling + shot sharding.
+
+The grouping and sharding rewrites must be invisible in the results: grouped
+jobs draw exactly the histograms their lone per-job RNG streams would, and
+sharded million-shot jobs produce bit-identical rows for any worker count,
+with the shard layout folded into the sample cache key so the two stream
+layouts can never alias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.circuits.bv import bernstein_vazirani
+from repro.engine import CircuitJob, ExecutionEngine
+from repro.engine.hashing import sample_key
+from repro.exceptions import EngineError, NoiseModelError
+from repro.quantum.device import get_device
+from repro.quantum.sampler import (
+    merge_counted_chunks,
+    sample_bitflip_batch,
+    sample_bitflip_chunk,
+    sample_bitflip_distribution,
+)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return get_device("ibm-paris")
+
+
+def _jobs(device, count=4, shots=2048, key="10110"):
+    circuit = bernstein_vazirani(key)
+    return [
+        CircuitJob(
+            job_id=f"job-{index}",
+            circuit=circuit,
+            shots=shots,
+            noise_model=device.noise_model,
+        )
+        for index in range(count)
+    ]
+
+
+class TestGroupedSampling:
+    def test_grouped_results_match_lone_draws_exactly(self, device):
+        jobs = _jobs(device, count=5)
+        engine = ExecutionEngine()
+        results = engine.run(jobs, seed=7)
+        assert engine.last_run_stats.sample_groups == 1
+        assert engine.last_run_stats.grouped_sample_jobs == 5
+        ideal = get_backend("statevector").ideal_distribution(jobs[0].circuit)
+        for index, result in enumerate(results):
+            rng = np.random.default_rng(np.random.SeedSequence((7, index)))
+            lone = sample_bitflip_distribution(
+                jobs[0].circuit, device.noise_model, jobs[0].shots, rng=rng, ideal=ideal
+            )
+            assert result.noisy.counts() == lone.counts()
+
+    def test_batch_function_matches_lone_draws(self, device):
+        circuit = bernstein_vazirani("110")
+        ideal = get_backend("statevector").ideal_distribution(circuit)
+        requests = [
+            (500 + 100 * index, np.random.default_rng(np.random.SeedSequence((3, index))))
+            for index in range(3)
+        ]
+        batched = sample_bitflip_batch(circuit, device.noise_model, requests, ideal=ideal)
+        for index, noisy in enumerate(batched):
+            rng = np.random.default_rng(np.random.SeedSequence((3, index)))
+            lone = sample_bitflip_distribution(
+                circuit, device.noise_model, 500 + 100 * index, rng=rng, ideal=ideal
+            )
+            assert noisy.counts() == lone.counts()
+
+    def test_distinct_noise_models_never_share_a_group(self, device):
+        circuit = bernstein_vazirani("1011")
+        scaled = device.noise_model.scaled(2.0)
+        jobs = [
+            CircuitJob(job_id="a", circuit=circuit, shots=512, noise_model=device.noise_model),
+            CircuitJob(job_id="b", circuit=circuit, shots=512, noise_model=scaled),
+        ]
+        engine = ExecutionEngine()
+        engine.run(jobs, seed=1)
+        assert engine.last_run_stats.sample_groups == 2
+        assert engine.last_run_stats.grouped_sample_jobs == 0
+
+    def test_grouping_is_invisible_to_worker_count(self, device):
+        jobs = _jobs(device, count=6, shots=1024)
+        serial = ExecutionEngine(max_workers=1).run(jobs, seed=5)
+        with ExecutionEngine(max_workers=2) as engine:
+            parallel = engine.run(jobs, seed=5)
+        for lhs, rhs in zip(serial, parallel):
+            assert lhs.noisy.counts() == rhs.noisy.counts()
+
+    def test_empty_batch_request_list(self, device):
+        assert sample_bitflip_batch(bernstein_vazirani("11"), device.noise_model, []) == []
+
+
+class TestShardedSampling:
+    def test_sharded_rows_bit_identical_across_worker_counts(self, device):
+        job = _jobs(device, count=1, shots=40_000)[0]
+        tables = []
+        for workers in (1, 2, 4):
+            with ExecutionEngine(max_workers=workers, sample_shard_shots=8_192) as engine:
+                result = engine.run([job], seed=3)[0]
+                assert engine.last_run_stats.sharded_jobs == 1
+                assert engine.last_run_stats.sample_shards == 5
+            tables.append(result.noisy.counts())
+        assert tables[0] == tables[1] == tables[2]
+        assert sum(tables[0].values()) == 40_000
+
+    def test_shard_layout_splits_cache_keys(self, device):
+        circuit = bernstein_vazirani("101")
+        base = dict(
+            noise_model=device.noise_model, shots=10_000, method="bitflip", entropy=(0, 0)
+        )
+        unsharded = sample_key(circuit, **base)
+        sharded = sample_key(circuit, **base, shard_shots=4_096)
+        other_layout = sample_key(circuit, **base, shard_shots=2_048)
+        assert len({unsharded, sharded, other_layout}) == 3
+
+    def test_sharded_job_hits_cache_on_rerun(self, device):
+        job = _jobs(device, count=1, shots=20_000)[0]
+        engine = ExecutionEngine(sample_shard_shots=4_096)
+        first = engine.run([job], seed=2)[0]
+        assert engine.last_run_stats.sample_cache_hits == 0
+        second = engine.run([job], seed=2)[0]
+        assert engine.last_run_stats.sample_cache_hits == 1
+        # Sampling counters track computed work only: nothing sharded on a hit.
+        assert engine.last_run_stats.sharded_jobs == 0
+        assert engine.last_run_stats.sample_shards == 0
+        assert first.noisy.counts() == second.noisy.counts()
+
+    def test_shard_threshold_env_and_validation(self, device, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLE_SHARD_SHOTS", "5000")
+        assert ExecutionEngine().sample_shard_shots == 5000
+        monkeypatch.setenv("REPRO_SAMPLE_SHARD_SHOTS", "soon")
+        with pytest.raises(EngineError):
+            ExecutionEngine()
+        monkeypatch.delenv("REPRO_SAMPLE_SHARD_SHOTS")
+        with pytest.raises(EngineError):
+            ExecutionEngine(sample_shard_shots=0)
+
+    def test_chunk_merge_is_exact_and_order_stable(self, device):
+        circuit = bernstein_vazirani("1101")
+        ideal = get_backend("statevector").ideal_distribution(circuit)
+        chunks = []
+        for chunk_index in range(3):
+            rng = np.random.default_rng(np.random.SeedSequence((9, 0, chunk_index)))
+            chunks.append(
+                sample_bitflip_chunk(circuit, device.noise_model, 700, rng, ideal=ideal)
+            )
+        merged = merge_counted_chunks(chunks, circuit.num_qubits)
+        assert sum(merged.counts().values()) == 3 * 700
+        # counts are integer-valued floats: any merge order is exactly equal
+        reversed_merge = merge_counted_chunks(list(reversed(chunks)), circuit.num_qubits)
+        assert merged.counts() == reversed_merge.counts()
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(NoiseModelError):
+            merge_counted_chunks([], 4)
+
+    def test_trajectory_jobs_are_never_sharded(self, device):
+        job = CircuitJob(
+            job_id="traj",
+            circuit=bernstein_vazirani("101"),
+            shots=30_000,
+            noise_model=device.noise_model,
+            method="trajectory",
+        )
+        engine = ExecutionEngine(sample_shard_shots=1_000)
+        result = engine.run([job], seed=0)[0]
+        assert engine.last_run_stats.sharded_jobs == 0
+        assert engine.last_run_stats.sample_shards == 0
+        assert sum(result.noisy.counts().values()) == 30_000

@@ -111,6 +111,63 @@ class TestExecution:
         assert report.rows
 
 
+class TestProfileSubcommand:
+    def test_profile_reports_pipeline_phases(self, capsys):
+        assert main(["profile", "fig8a", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "profile_fig8a"
+        phases = {row["phase"] for row in payload["rows"]}
+        assert {"transpile", "ideal", "sample", "hammer"} <= phases
+        for row in payload["rows"]:
+            assert row["seconds"] >= 0.0
+            assert row["calls"] >= 1
+        assert payload["summary"]["wall_seconds"] > 0.0
+        assert payload["meta"]["experiment"] == "fig8a"
+        assert payload["meta"]["tuning"]["kernel_override"] == "auto"
+        assert "engine" in payload["meta"]
+
+    def test_profile_text_output(self, capsys):
+        assert main(["profile", "fig8a"]) == 0
+        output = capsys.readouterr().out
+        assert "profile_fig8a" in output
+        assert "hammer" in output
+
+    def test_profile_requires_a_target(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile"])
+        assert "requires an experiment id" in capsys.readouterr().err
+
+    def test_profile_rejects_engineless_experiments(self):
+        for target in ("fig5", "table3", "table3-runtime"):
+            with pytest.raises(SystemExit, match="does not support"):
+                main(["profile", target])
+
+    def test_profile_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["profile", "figure-999"])
+
+    def test_profile_flag_errors_name_the_target(self, capsys):
+        # Validation order: a missing target is reported as such even when
+        # other flags are present, never as "None runs its pinned sweep".
+        with pytest.raises(SystemExit):
+            main(["profile", "--backend", "stabilizer"])
+        err = capsys.readouterr().err
+        assert "requires an experiment id" in err
+        assert "None" not in err
+
+    def test_stray_positional_rejected_without_profile(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig8a", "fig8"])
+        assert "only the 'profile' subcommand" in capsys.readouterr().err
+
+    def test_profile_backend_flag_applies_to_target(self, capsys):
+        # --backend is validated against the profiled experiment, not
+        # against the 'profile' wrapper itself.
+        with pytest.raises(SystemExit):
+            main(["profile", "fig8a", "--backend", "stabilizer"])
+        assert "--backend/--scenario only apply" in capsys.readouterr().err
+
+
 class TestExperimentSmoke:
     """Every registered experiment runs at --scale small and reports sane numbers."""
 
