@@ -1,0 +1,211 @@
+"""PR 6 performance profile: cost-model autoscheduling, with guards.
+
+Times the calibrated dispatch layer against the untuned heuristics and
+writes the measurements to ``BENCH_PR6.json`` at the repo root (CI uploads
+it as an artifact):
+
+* **Tune validation** — a quick ``repro tune`` run must predict the
+  measured-fastest kernel plan on >= 80% of its microbenchmark grid.
+* **Tuned memo-cold fig8** — the hammer-heavy Figure-8 BV sweep, cold
+  caches on both sides, tuned vs untuned: rows must be **bit-identical**
+  (the cost model may only change *how* work is scheduled, never what is
+  computed) and the tuned run must not regress.
+* **22k-support HAMMER** — the large-support reconstruction under the
+  tuned profile (profile-chosen plan + tile size) vs the untuned
+  heuristics, guarded against regression.
+
+Run locally with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_costmodel.py -x -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+
+#: Wall-clock guards tolerate scheduler jitter: the requirement is "no
+#: regression" (ratio ~1.0), asserted at 0.85 so a noisy CI box cannot flake
+#: a genuinely neutral result.
+_JITTER_FLOOR = 0.85
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Accumulates section results; written to BENCH_PR6.json at session end."""
+    from repro.core.costmodel import active_fingerprint
+    from repro.core.tuning import detected_cache_bytes, tuning_report
+
+    fingerprint = active_fingerprint()
+    record: dict[str, object] = {
+        "tuning": tuning_report(),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+            "cache_bytes": detected_cache_bytes(),
+            "machine_profile": fingerprint if fingerprint is not None else "untuned",
+        },
+    }
+    yield record
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {BENCH_PATH}")
+
+
+@pytest.fixture(scope="session")
+def tuned(bench_record):
+    """One quick tuning run shared by every section (the expensive part)."""
+    from repro.engine.autotune import run_tune
+
+    profile, report = run_tune(quick=True, seed=0)
+    bench_record["tune"] = {
+        "quick": True,
+        "seconds": report.summary["tune_seconds"],
+        "kernel_agreement": report.summary["kernel_agreement"],
+        "chunk_shots": report.summary["chunk_shots"],
+        "parallel_min_seconds": report.summary["parallel_min_seconds"],
+        "tile_entries": report.summary["tile_entries"],
+        "fingerprint": profile.fingerprint(),
+    }
+    return profile, report
+
+
+def test_tune_predictions_match_measurements(bench_record, tuned):
+    """Guard: predicted-fastest == measured-fastest on >= 80% of the grid."""
+    profile, report = tuned
+    agreement = report.summary["kernel_agreement"]
+    grid = profile.validation["kernel_grid"]
+    print(
+        f"\ntune: kernel agreement {agreement:.0%} over {len(grid)} grid points "
+        f"in {report.summary['tune_seconds']:.1f}s"
+    )
+    assert len(grid) >= 4
+    assert agreement >= 0.8, (
+        f"cost curves mispredict the fastest kernel plan on "
+        f"{1 - agreement:.0%} of the tuning grid"
+    )
+
+
+def _run_fig8_sweep():
+    from repro.engine import ExecutionEngine
+    from repro.experiments.bv_study import BvStudyConfig, run_bv_study
+
+    config = BvStudyConfig(qubit_range=(12, 14), keys_per_size=1, shots=32_768, seed=8)
+    start = time.perf_counter()
+    with ExecutionEngine() as engine:
+        report = run_bv_study(config, engine=engine)
+    return report, time.perf_counter() - start
+
+
+def test_tuned_fig8_bit_identical_no_regression(bench_record, tuned):
+    """Tuned fig8 sweep: rows bit-identical to untuned, wall time no worse."""
+    from repro.core import costmodel
+    from repro.engine import ExecutionEngine
+    from repro.experiments.bv_study import BvStudyConfig, run_bv_study
+
+    profile, _ = tuned
+    # Warm imports / registries outside the clocks.
+    run_bv_study(
+        BvStudyConfig(qubit_range=(5, 5), keys_per_size=1, shots=512, seed=8),
+        engine=ExecutionEngine(),
+    )
+
+    costmodel.set_active_profile(None)
+    untuned_report, _ = _run_fig8_sweep()
+    _, untuned_seconds = _run_fig8_sweep()
+
+    costmodel.set_active_profile(profile)
+    try:
+        tuned_report, _ = _run_fig8_sweep()
+        _, tuned_seconds = _run_fig8_sweep()
+    finally:
+        costmodel.set_active_profile(None)
+
+    assert tuned_report.rows == untuned_report.rows, (
+        "tuned dispatch changed experiment rows — the cost model must only "
+        "reschedule work, never change results"
+    )
+    speedup = untuned_seconds / tuned_seconds
+    bench_record["tuned_fig8_sweep"] = {
+        "config": {"qubit_range": [12, 14], "keys_per_size": 1, "shots": 32_768},
+        "untuned_seconds": untuned_seconds,
+        "tuned_seconds": tuned_seconds,
+        "speedup": speedup,
+        "rows_bit_identical": True,
+    }
+    print(
+        f"\ntuned memo-cold fig8: untuned {untuned_seconds:.2f}s -> "
+        f"tuned {tuned_seconds:.2f}s ({speedup:.2f}x, rows identical)"
+    )
+    assert speedup >= _JITTER_FLOOR, (
+        f"tuned fig8 sweep regressed: {speedup:.2f}x < {_JITTER_FLOOR}x"
+    )
+
+
+def _clustered_distribution(width: int, min_support: int, seed: int):
+    from repro.core.bitstring import PackedOutcomes
+    from repro.core.distribution import Distribution
+
+    rng = np.random.default_rng(seed)
+    center = rng.integers(0, 2, size=width, dtype=np.uint8)
+    draws = max(6 * min_support, 60_000)
+    bits = (rng.random((draws, width)) < 0.3).astype(np.uint8) ^ center
+    unique = np.unique(bits, axis=0)
+    assert unique.shape[0] >= min_support, unique.shape
+    unique = unique[: (min_support * 11) // 10]
+    weights = rng.random(unique.shape[0]) + 1e-3
+    return Distribution.from_packed(
+        PackedOutcomes.from_bit_matrix(unique), weights=weights
+    )
+
+
+def test_tuned_hammer_22k_support_no_regression(bench_record, tuned):
+    """Guard: 22k-support HAMMER under the profile is >= the heuristic path."""
+    from repro.core import costmodel
+    from repro.core.hammer import neighborhood_scores
+
+    profile, _ = tuned
+    dist = _clustered_distribution(width=16, min_support=22_000, seed=5)
+    dist.packed()
+
+    def best_of_two():
+        plan = neighborhood_scores(dist).kernel
+        start = time.perf_counter()
+        neighborhood_scores(dist)
+        first = time.perf_counter() - start
+        start = time.perf_counter()
+        neighborhood_scores(dist)
+        return min(first, time.perf_counter() - start), plan
+
+    costmodel.set_active_profile(None)
+    untuned_seconds, untuned_plan = best_of_two()
+    costmodel.set_active_profile(profile)
+    try:
+        tuned_seconds, tuned_plan = best_of_two()
+    finally:
+        costmodel.set_active_profile(None)
+    ratio = untuned_seconds / tuned_seconds
+    bench_record["hammer_22k_support"] = {
+        "support": dist.num_outcomes,
+        "width": dist.num_bits,
+        "untuned_seconds": untuned_seconds,
+        "untuned_plan": untuned_plan,
+        "tuned_seconds": tuned_seconds,
+        "tuned_plan": tuned_plan,
+        "speedup": ratio,
+    }
+    print(
+        f"\nHAMMER {dist.num_outcomes}-outcome support: heuristic {untuned_plan} "
+        f"{untuned_seconds:.3f}s -> tuned {tuned_plan} {tuned_seconds:.3f}s "
+        f"({ratio:.2f}x)"
+    )
+    assert dist.num_outcomes >= 22_000
+    assert ratio >= _JITTER_FLOOR, (
+        f"tuned HAMMER dispatch regressed: {ratio:.2f}x < {_JITTER_FLOOR}x"
+    )

@@ -38,11 +38,18 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
 @pytest.fixture(scope="session")
 def bench_record():
     """Accumulates section results; written to BENCH_PR5.json at session end."""
-    from repro.core.tuning import tuning_report
+    from repro.core.costmodel import active_fingerprint
+    from repro.core.tuning import detected_cache_bytes, tuning_report
 
+    fingerprint = active_fingerprint()
     record: dict[str, object] = {
         "tuning": tuning_report(),
-        "machine": {"cpu_count": os.cpu_count(), "numpy": np.__version__},
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+            "cache_bytes": detected_cache_bytes(),
+            "machine_profile": fingerprint if fingerprint is not None else "untuned",
+        },
     }
     yield record
     BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

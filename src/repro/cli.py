@@ -14,6 +14,9 @@ Usage::
     python -m repro.cli scenario-sweep --jobs 4 --format json
     python -m repro.cli scenario-sweep --scenario heavy-hex-127-bv --backend stabilizer
     python -m repro.cli profile fig8 --format json --out profile.json
+    python -m repro.cli profile fig8 --repeat 5   # median-of-5 phase timings
+    python -m repro.cli tune --quick              # calibrate the cost model
+    python -m repro.cli fig8 --profile machine_profile.json
 
 Every experiment runs its sweep through one shared
 :class:`~repro.engine.engine.ExecutionEngine`: ``--jobs`` fans the batch out
@@ -25,11 +28,21 @@ machine-readable artifact, optionally written to ``--out``.  ``--backend``
 selects the ideal-simulation backend for backend-aware experiments
 (``scenario-sweep``): ``statevector`` (default), ``stabilizer`` (exact
 Clifford fast path, device-scale widths) or ``auto``.
+
+``tune`` runs the one-time cost-model microbenchmarks
+(:mod:`repro.engine.autotune`) and persists the fitted
+:class:`~repro.core.costmodel.MachineProfile`; every later run consults it
+for kernel / shard / worker / backend dispatch (results stay bit-identical
+to untuned runs).  ``--profile PATH`` points any run — including worker
+processes — at a specific profile file (it is exported as
+``REPRO_TUNE_PROFILE``); for ``tune`` it selects where the profile is
+written.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -74,6 +87,7 @@ __all__ = [
     "build_engine",
     "run_experiment",
     "profile_report",
+    "tune_report",
     "devices_report",
     "scenarios_report",
     "backends_report",
@@ -267,6 +281,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "see the 'scenarios' subcommand for the registry)")
     parser.add_argument("--cache-dir", type=str, default=None, metavar="PATH",
                         help="persist transpiles + ideal distributions across runs")
+    parser.add_argument("--profile", type=str, default=None, metavar="PATH",
+                        help="machine cost-model profile to load (exported as "
+                             "REPRO_TUNE_PROFILE so worker processes inherit it); "
+                             "with 'tune', where to write the fitted profile")
+    parser.add_argument("--quick", action="store_true",
+                        help="tune only: the CI-sized microbenchmark grid (seconds, "
+                             "not tens of seconds)")
+    parser.add_argument("--repeat", type=_positive_int, default=1, metavar="N",
+                        help="profile only: run the experiment N times (fresh engine "
+                             "each) and report median per-phase seconds")
     parser.add_argument("--format", choices=("text", "json"), default="text", dest="format",
                         help="output format: human-readable table or JSON artifact")
     parser.add_argument("--out", type=str, default=None, metavar="PATH",
@@ -361,7 +385,14 @@ def profile_report(
     from the engine, hammer from the reconstruction kernel) with call counts
     and shares; engine cache statistics and the kernel-tuning decisions ride
     along in ``meta`` so a JSON artifact fully describes the run.
+
+    ``--repeat N`` (``args.repeat``) runs the experiment ``N`` times, each
+    through a *fresh* engine (cold in-memory caches, so every repeat does
+    the same work), and reports the **median** per-phase seconds — a robust
+    location estimate for noisy CI boxes.  With ``N = 1`` (default) a
+    caller-supplied engine is honoured unchanged.
     """
+    import statistics
     import time as _time
 
     from repro.core.profiling import collect_phases
@@ -374,19 +405,70 @@ def profile_report(
             f"'profile' does not support {target!r}: it runs no engine pipeline; "
             f"supported experiments: {sorted(set(EXPERIMENTS) - PROFILE_UNSUPPORTED_EXPERIMENTS)}"
         )
-    engine = engine if engine is not None else build_engine(args)
-    wall_start = _time.perf_counter()
-    with collect_phases() as phases:
-        inner = run_experiment(target, args, engine)
-    wall_seconds = _time.perf_counter() - wall_start
-    report = ExperimentReport(name=f"profile_{target}", rows=phases.as_rows())
-    report.summary["wall_seconds"] = wall_seconds
-    report.summary["phase_seconds"] = phases.total_seconds()
-    report.summary["unattributed_seconds"] = wall_seconds - phases.total_seconds()
-    report.summary["rows_produced"] = float(len(inner.rows))
+    repeat = max(1, int(getattr(args, "repeat", 1) or 1))
+    walls: list[float] = []
+    phase_seconds: dict[str, list[float]] = {}
+    phase_calls: dict[str, object] = {}
+    rows_produced = 0.0
+    run_engine = engine
+    for _ in range(repeat):
+        run_engine = engine if (engine is not None and repeat == 1) else build_engine(args)
+        wall_start = _time.perf_counter()
+        with collect_phases() as phases:
+            inner = run_experiment(target, args, run_engine)
+        walls.append(_time.perf_counter() - wall_start)
+        for row in phases.as_rows():
+            phase_seconds.setdefault(row["phase"], []).append(float(row["seconds"]))
+            phase_calls[row["phase"]] = row["calls"]
+        rows_produced = float(len(inner.rows))
+        if run_engine is not engine:
+            run_engine.close()
+    medians = {phase: statistics.median(values) for phase, values in phase_seconds.items()}
+    total = sum(medians.values())
+    report = ExperimentReport(
+        name=f"profile_{target}",
+        rows=[
+            {
+                "phase": phase,
+                "seconds": medians[phase],
+                "calls": phase_calls[phase],
+                "share": medians[phase] / total if total > 0 else 0.0,
+            }
+            for phase in phase_seconds
+        ],
+    )
+    report.summary["wall_seconds"] = statistics.median(walls)
+    report.summary["phase_seconds"] = total
+    report.summary["unattributed_seconds"] = statistics.median(walls) - total
+    report.summary["rows_produced"] = rows_produced
     report.meta["experiment"] = target
+    report.meta["repeat"] = repeat
     report.meta["tuning"] = tuning_report()
-    return attach_engine_meta(report, engine)
+    return attach_engine_meta(report, run_engine)
+
+def tune_report(args: argparse.Namespace) -> ExperimentReport:
+    """Run the cost-model microbenchmarks and persist the fitted profile.
+
+    The destination is :func:`repro.core.costmodel.profile_path` — i.e.
+    ``--profile PATH`` when given (``main`` exports it as
+    ``REPRO_TUNE_PROFILE`` first), else the env variable, else the default
+    cache location.  The freshly written profile becomes active immediately.
+    """
+    from repro.core import costmodel
+    from repro.engine.autotune import run_tune
+
+    profile, report = run_tune(quick=getattr(args, "quick", False))
+    path = costmodel.profile_path()
+    if path is None:
+        raise SystemExit(
+            "profile loading is disabled (REPRO_TUNE_PROFILE is set to a disabled "
+            "value); pass --profile PATH to choose where the tuned profile is written"
+        )
+    costmodel.save_profile(profile, path)
+    costmodel.reset_active_profile()
+    report.meta["profile_path"] = str(path)
+    return report
+
 
 #: Informational subcommands: no engine, no sweep — just a registry table.
 SUBCOMMANDS = {
@@ -416,6 +498,17 @@ def main(argv: list[str] | None = None) -> int:
             f"--backend/--scenario only apply to {sorted(BACKEND_AWARE_EXPERIMENTS)}; "
             f"{profiled!r} runs its pinned sweep and would silently ignore them"
         )
+    if args.quick and args.experiment != "tune":
+        parser.error("--quick only applies to the 'tune' subcommand")
+    if args.repeat != 1 and args.experiment != "profile":
+        parser.error("--repeat only applies to the 'profile' subcommand")
+    if args.profile is not None:
+        # Exported (not just loaded) so worker processes inherit the same
+        # profile: the pool re-imports repro and reads REPRO_TUNE_PROFILE.
+        from repro.core import costmodel
+
+        os.environ[costmodel.ENV_PROFILE] = args.profile
+        costmodel.reset_active_profile()
     if args.experiment == "list":
         rows = [{"id": key, "description": description} for key, (description, _) in EXPERIMENTS.items()]
         rows += [{"id": key, "description": description} for key, (description, _) in SUBCOMMANDS.items()]
@@ -425,12 +518,20 @@ def main(argv: list[str] | None = None) -> int:
                 "description": "Per-phase timing profile (transpile/ideal/sample/hammer)",
             }
         )
+        rows.append(
+            {
+                "id": "tune",
+                "description": "Calibrate the cost-model profile (one-time microbenchmarks)",
+            }
+        )
         print(format_table(rows))
         return 0
     if args.experiment == "profile":
         # Unknown / engine-less targets are rejected by profile_report, the
         # single owner of that validation (the CLI and library paths share it).
         report = profile_report(args.target, args)
+    elif args.experiment == "tune":
+        report = tune_report(args)
     elif args.experiment in SUBCOMMANDS:
         _, builder = SUBCOMMANDS[args.experiment]
         report = builder()

@@ -49,7 +49,7 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.core import tuning
+from repro.core import costmodel, tuning
 from repro.exceptions import DistributionError
 
 __all__ = [
@@ -362,15 +362,32 @@ def choose_plan(num_outcomes: int, num_bits: int) -> str:
       weight-gather score sweep over the upper triangle.
     * ``streaming`` — large supports on very wide registers, where popcounts
       dominate: one fused triangular traversal for CHS + filtered mass.
+
+    Precedence: ``REPRO_HAMMER_KERNEL`` (or the programmatic override)
+    wins outright; otherwise a tuned :class:`~repro.core.costmodel.
+    MachineProfile` ranks the large-support plans by predicted seconds;
+    the fixed word-count crossover above is the untuned fallback.  The
+    dense boundary is **not** tunable: supports at or below
+    :data:`DENSE_SUPPORT_MAX` always run the bit-identical historical
+    arithmetic, profile or not, so golden fixtures and published row
+    tables never drift under tuning.
     """
     override = tuning.kernel_override()
     if override is not None:
+        costmodel.record_decision("kernel", override, "override")
         return override
     if num_outcomes <= DENSE_SUPPORT_MAX:
+        costmodel.record_decision("kernel", "dense", "heuristic")
         return "dense"
-    if (num_bits + 63) // 64 >= STREAMING_MIN_WORDS:
-        return "streaming"
-    return "tiled"
+    profile = costmodel.active_profile()
+    if profile is not None:
+        plan = profile.kernel_plan(num_outcomes, num_bits)
+        if plan is not None:
+            costmodel.record_decision("kernel", plan, "profile")
+            return plan
+    plan = "streaming" if (num_bits + 63) // 64 >= STREAMING_MIN_WORDS else "tiled"
+    costmodel.record_decision("kernel", plan, "heuristic")
+    return plan
 
 
 def chs_histogram(packed, weights: np.ndarray, limit: int, plan: str | None = None) -> np.ndarray:

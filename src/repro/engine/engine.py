@@ -57,6 +57,7 @@ from typing import Any
 import numpy as np
 
 from repro.backends import get_backend, resolve_backend
+from repro.core import costmodel
 from repro.core.distribution import Distribution
 from repro.core.profiling import record_phase_seconds
 from repro.engine.cache import ExecutionCache
@@ -118,6 +119,18 @@ class EngineRunStats:
     prepare_seconds: float = 0.0
     sample_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: Nested counters of autoscheduling choices made while running:
+    #: ``{"shard": {"chunk:262144/heuristic": 3, ...}, "workers": ...}``.
+    #: Each key is ``f"{choice}/{source}"`` where source is one of
+    #: ``override`` / ``profile`` / ``heuristic``, mirroring
+    #: :func:`repro.core.costmodel.record_decision`.
+    planner_decisions: dict = field(default_factory=dict)
+
+    def record_planner(self, kind: str, choice: str, source: str) -> None:
+        """Count one planner decision (shard layout, worker count, ...)."""
+        bucket = self.planner_decisions.setdefault(kind, {})
+        key = f"{choice}/{source}"
+        bucket[key] = bucket.get(key, 0) + 1
 
     def accumulate(self, other: "EngineRunStats") -> None:
         """Fold another run's counters into this one (for lifetime totals)."""
@@ -136,8 +149,12 @@ class EngineRunStats:
         self.prepare_seconds += other.prepare_seconds
         self.sample_seconds += other.sample_seconds
         self.wall_seconds += other.wall_seconds
+        for kind, counts in other.planner_decisions.items():
+            bucket = self.planner_decisions.setdefault(kind, {})
+            for key, count in counts.items():
+                bucket[key] = bucket.get(key, 0) + count
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, object]:
         """Flat dict for ``ExperimentReport.meta`` / JSON artifacts."""
         return {
             "num_jobs": self.num_jobs,
@@ -156,6 +173,9 @@ class EngineRunStats:
             "prepare_seconds": self.prepare_seconds,
             "sample_seconds": self.sample_seconds,
             "wall_seconds": self.wall_seconds,
+            "planner_decisions": {
+                kind: dict(counts) for kind, counts in sorted(self.planner_decisions.items())
+            },
         }
 
 
@@ -266,6 +286,11 @@ class ExecutionEngine:
         if max_workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = int(max_workers)
+        # An explicit constructor argument or environment value is an
+        # *override*: it wins over any tuned profile and keeps the historical
+        # fixed-chunk shard layout (planner precedence: override > profile >
+        # heuristic).  Only the built-in default is eligible for retuning.
+        shard_override = sample_shard_shots is not None
         if sample_shard_shots is None:
             raw = os.environ.get(_ENV_SHARD_SHOTS)
             if raw is not None and raw.strip():
@@ -275,6 +300,7 @@ class ExecutionEngine:
                     raise EngineError(
                         f"{_ENV_SHARD_SHOTS} must be an integer, got {raw!r}"
                     ) from error
+                shard_override = True
             else:
                 sample_shard_shots = DEFAULT_SAMPLE_SHARD_SHOTS
         if sample_shard_shots < 1:
@@ -282,6 +308,7 @@ class ExecutionEngine:
                 f"sample_shard_shots must be >= 1, got {sample_shard_shots}"
             )
         self.sample_shard_shots = int(sample_shard_shots)
+        self._shard_override = shard_override
         self.cache = cache if cache is not None else ExecutionCache(cache_dir)
         self.last_run_stats: EngineRunStats | None = None
         #: Totals over every :meth:`run` since construction.  Studies that
@@ -367,7 +394,77 @@ class ExecutionEngine:
             job.validate_width()
 
         pool = self._get_pool() if len(jobs) > 1 else None
+        if pool is not None:
+            pool = self._plan_workers(jobs, stats, pool)
         return self._run_phases(jobs, seed, stats, pool, wall_start)
+
+    # ------------------------------------------------------------------
+    # Cost-model planning (override > tuned profile > built-in heuristic)
+    # ------------------------------------------------------------------
+    def _plan_workers(
+        self,
+        jobs: list[CircuitJob],
+        stats: EngineRunStats,
+        pool: ProcessPoolExecutor,
+    ) -> ProcessPoolExecutor | None:
+        """Decide whether a multi-job batch should actually use the pool.
+
+        With a tuned profile whose sampler curve covers every job, a batch
+        whose total predicted sampling time is below the measured pool
+        break-even (``engine["parallel_min_seconds"]``) runs in-process:
+        dispatch overhead would dominate.  Per-job seed streams make worker
+        count irrelevant to results, so this only changes wall time, never
+        histograms.  Without a profile (or with trajectory jobs, which the
+        sampler curve does not model) the requested ``max_workers`` stands.
+        """
+        profile = costmodel.active_profile()
+        if profile is None:
+            stats.record_planner("workers", str(self.max_workers), "heuristic")
+            return pool
+        predicted = 0.0
+        for job in jobs:
+            if job.method != "bitflip":
+                stats.record_planner("workers", str(self.max_workers), "heuristic")
+                return pool
+            seconds = profile.predict_sample_seconds(job.shots, job.circuit.num_qubits)
+            if seconds is None:
+                stats.record_planner("workers", str(self.max_workers), "heuristic")
+                return pool
+            predicted += seconds
+        workers = profile.effective_workers(predicted, self.max_workers)
+        stats.record_planner("workers", str(workers), "profile")
+        return None if workers <= 1 else pool
+
+    def _plan_shard(
+        self,
+        job: CircuitJob,
+        profile: "costmodel.MachineProfile | None",
+        stats: EngineRunStats,
+    ) -> tuple[int | None, str | None]:
+        """Shard layout for one job: ``(chunk_shots | None, planner tag | None)``.
+
+        ``None`` chunk means the historical single-stream draw.  The planner
+        tag is ``"cost-model"`` exactly when a tuned profile chose a layout
+        *different* from the built-in heuristic — the one case where the
+        histogram diverges from the untuned run and the sample key must not
+        collide with heuristic cache entries.
+        """
+        if job.method != "bitflip":
+            return None, None
+        heuristic = (
+            self.sample_shard_shots if job.shots > self.sample_shard_shots else None
+        )
+        label = "none" if heuristic is None else f"chunk:{heuristic}"
+        if self._shard_override:
+            stats.record_planner("shard", label, "override")
+            return heuristic, None
+        if profile is not None:
+            tuned = profile.shard_layout(job.shots)
+            tuned_label = "none" if tuned is None else f"chunk:{tuned}"
+            stats.record_planner("shard", tuned_label, "profile")
+            return tuned, "cost-model" if tuned != heuristic else None
+        stats.record_planner("shard", label, "heuristic")
+        return heuristic, None
 
     def _run_phases(
         self,
@@ -473,7 +570,7 @@ class ExecutionEngine:
         # batch; jobs above the shard threshold fan out into fixed-size shot
         # chunks that merge in a deterministic reduction order.
         phase_start = time.perf_counter()
-        shard_shots = self.sample_shard_shots
+        shard_profile = None if self._shard_override else costmodel.active_profile()
         sampled_by_index: dict[int, tuple[Distribution, float, bool]] = {}
         job_skeys: list[str] = []
         trajectory_tasks: list[tuple] = []
@@ -484,7 +581,8 @@ class ExecutionEngine:
         # sweeps reusing one NoiseModel across many jobs hash it once here.
         noise_fingerprints: dict[int, str] = {}
         for index, job in enumerate(jobs):
-            sharded = job.method == "bitflip" and job.shots > shard_shots
+            job_chunk_shots, planner = self._plan_shard(job, shard_profile, stats)
+            sharded = job_chunk_shots is not None
             skey = sample_key(
                 executed_circuits[index],
                 job.noise_model,
@@ -492,7 +590,8 @@ class ExecutionEngine:
                 job.method,
                 (seed, index),
                 backend=job_backends[index],
-                shard_shots=shard_shots if sharded else None,
+                shard_shots=job_chunk_shots,
+                planner=planner,
             )
             job_skeys.append(skey)
             cached = self.cache.get("sample", skey)
@@ -508,9 +607,9 @@ class ExecutionEngine:
                 )
                 continue
             if sharded:
-                chunk_sizes = [shard_shots] * (job.shots // shard_shots)
-                if job.shots % shard_shots:
-                    chunk_sizes.append(job.shots % shard_shots)
+                chunk_sizes = [job_chunk_shots] * (job.shots // job_chunk_shots)
+                if job.shots % job_chunk_shots:
+                    chunk_sizes.append(job.shots % job_chunk_shots)
                 shard_chunk_counts[index] = len(chunk_sizes)
                 stats.sharded_jobs += 1
                 stats.sample_shards += len(chunk_sizes)

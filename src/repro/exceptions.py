@@ -56,6 +56,14 @@ class BackendError(ReproError):
     """
 
 
+class CostModelError(ReproError):
+    """Raised when a machine cost-model profile is malformed or unusable.
+
+    Examples include corrupt profile JSON, unknown cost terms, and profiles
+    written by an incompatible schema version.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment is configured inconsistently."""
 

@@ -204,12 +204,28 @@ def attach_engine_meta(report: ExperimentReport, engine, trace=None) -> Experime
     run; each result contributes one ``as_trace_row`` dict, giving the JSON
     artifact the same per-stage visibility :func:`trace_pipeline` rows give
     the post-processing pipeline.
+
+    A ``planner`` block records how the sweep was autoscheduled: the active
+    machine-profile fingerprint (``"heuristic"`` when untuned), the engine's
+    shard/worker decisions, and the process-global kernel/backend decision
+    counters — so every JSON artifact shows which dispatch path produced it.
     """
+    from repro.core import costmodel
+
     stats = getattr(engine, "lifetime_stats", None)
     if stats is not None and stats.num_jobs > 0:
         engine_meta = stats.as_dict()
         engine_meta.update(engine.cache.stats())
         report.meta["engine"] = engine_meta
+        fingerprint = costmodel.active_fingerprint()
+        report.meta["planner"] = {
+            "machine_profile": fingerprint if fingerprint is not None else "heuristic",
+            "engine": {
+                kind: dict(counts)
+                for kind, counts in sorted(stats.planner_decisions.items())
+            },
+            "costmodel": costmodel.decision_counts(),
+        }
     if trace is not None:
         report.meta["jobs"] = [result.as_trace_row() for result in trace]
     return report
