@@ -80,8 +80,10 @@ _DISABLED_VALUES = frozenset({"", "off", "none", "disabled"})
 #: Plans the cost model may choose between at large supports.  ``dense`` is
 #: deliberately absent: supports ≤ ``DENSE_SUPPORT_MAX`` keep the historical
 #: bit-identical arithmetic (golden fixtures live there), and the profile
-#: must never move that boundary.
-TUNABLE_KERNEL_PLANS = ("tiled", "streaming")
+#: must never move that boundary.  ``gpu`` is benchmarked only when a CUDA
+#: device is usable, and the dispatcher re-checks availability before
+#: honouring a profile that ranked it first (profiles travel).
+TUNABLE_KERNEL_PLANS = ("tiled", "streaming", "gpu")
 
 # ---------------------------------------------------------------------------
 # Cost-curve basis
@@ -94,6 +96,7 @@ _TERMS = {
     "1": lambda f: 1.0,
     "n": lambda f: float(f["n"]),
     "n2": lambda f: float(f["n"]) ** 2,
+    "w": lambda f: float(f["w"]),
     "nw": lambda f: float(f["n"]) * float(f["w"]),
     "n2w": lambda f: float(f["n"]) ** 2 * float(f["w"]),
     "shots": lambda f: float(f["shots"]),

@@ -37,6 +37,16 @@ each ``(support size, register width)``:
     dispatcher — it exists as the benchmark baseline and as the differential
     reference for the property tests (``REPRO_HAMMER_KERNEL=legacy``).
 
+``gpu``
+    The tiled arithmetic with the per-tile XOR/popcount distance matrices
+    computed on a CUDA device through CuPy (``__popcll`` elementwise
+    kernel).  Distances are exact integers, and every float accumulation
+    (bincounts, gathers, matmuls) stays on the CPU in the tiled plan's
+    order, so results are **bit-identical** to ``tiled``.  Auto-detected
+    when CuPy and a device are present; ``REPRO_HAMMER_KERNEL=gpu`` forces
+    it, and without a usable device the plan degrades to ``tiled`` with a
+    one-time warning rather than failing.
+
 The popcount primitive is runtime-dispatched at import: ``np.bitwise_count``
 where the running NumPy provides it (>= 2.0), a byte-table lookup fallback
 otherwise.  All tile/block sizes come from :mod:`repro.core.tuning`
@@ -45,6 +55,7 @@ otherwise.  All tile/block sizes come from :mod:`repro.core.tuning`
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable
 
 import numpy as np
@@ -55,6 +66,7 @@ from repro.exceptions import DistributionError
 __all__ = [
     "popcount_u64",
     "has_fast_popcount",
+    "gpu_available",
     "choose_plan",
     "chs_histogram",
     "hammer_pass",
@@ -129,6 +141,97 @@ def _tile_distances(words_a: np.ndarray, words_b: np.ndarray) -> np.ndarray:
         xor = np.bitwise_xor.outer(words_a[:, word_index], words_b[:, word_index])
         distances += popcount_u64(xor)
     return distances
+
+
+# ---------------------------------------------------------------------------
+# Optional GPU distance tier (CuPy)
+# ---------------------------------------------------------------------------
+#: Lazy probe state: ``probed`` flips on first use; ``cupy`` holds the module
+#: (with compiled kernels attached) or ``None`` when no usable device exists.
+_GPU_STATE: dict = {"probed": False, "cupy": None, "kernels": None, "warned": False}
+
+
+def _gpu_runtime():
+    """Probe CuPy + a CUDA device once; compile the popcount kernels on success.
+
+    Any failure — CuPy not installed, no driver, no device — marks the tier
+    unavailable for the process.  Nothing here is a hard dependency.
+    """
+    if not _GPU_STATE["probed"]:
+        _GPU_STATE["probed"] = True
+        try:
+            import cupy
+
+            if cupy.cuda.runtime.getDeviceCount() < 1:  # pragma: no cover - needs GPU
+                raise RuntimeError("no CUDA device")
+            # One fused XOR+popcount kernel per output dtype.  __popcll of a
+            # uint64 is an exact integer <= 64, so uint8 never overflows for
+            # a single word and per-word uint16 accumulation matches the CPU
+            # tile arithmetic bit for bit.
+            narrow = cupy.ElementwiseKernel(
+                "uint64 a, uint64 b",
+                "uint8 d",
+                "d = (unsigned char)__popcll(a ^ b)",
+                "repro_xor_popcount_u8",
+            )
+            wide = cupy.ElementwiseKernel(
+                "uint64 a, uint64 b, uint16 acc",
+                "uint16 d",
+                "d = acc + (unsigned short)__popcll(a ^ b)",
+                "repro_xor_popcount_accum_u16",
+            )
+            _GPU_STATE["cupy"] = cupy
+            _GPU_STATE["kernels"] = (narrow, wide)
+        except Exception:
+            _GPU_STATE["cupy"] = None
+            _GPU_STATE["kernels"] = None
+    return _GPU_STATE["cupy"]
+
+
+def gpu_available() -> bool:
+    """True when CuPy and at least one CUDA device are usable in this process."""
+    return _gpu_runtime() is not None
+
+
+def _tile_distances_gpu(words_a: np.ndarray, words_b: np.ndarray) -> np.ndarray:
+    """GPU twin of :func:`_tile_distances`: same dtypes, same exact integers.
+
+    The device computes only the XOR + popcount distance matrix; the result
+    returns to the host immediately and every float accumulation stays on
+    the CPU in the tiled plan's order — which is what keeps the ``gpu`` plan
+    bit-identical to ``tiled``.
+    """
+    cupy = _gpu_runtime()
+    narrow, wide = _GPU_STATE["kernels"]
+    num_words = words_a.shape[1]
+    device_a = cupy.asarray(np.ascontiguousarray(words_a))
+    device_b = cupy.asarray(np.ascontiguousarray(words_b))
+    first = narrow(device_a[:, 0][:, None], device_b[:, 0][None, :])
+    if num_words == 1:
+        return cupy.asnumpy(first)
+    distances = first.astype(cupy.uint16)
+    for word_index in range(1, num_words):
+        distances = wide(
+            device_a[:, word_index][:, None],
+            device_b[:, word_index][None, :],
+            distances,
+        )
+    return cupy.asnumpy(distances)
+
+
+def _gpu_plan_or_fallback() -> str:
+    """Resolve a requested ``gpu`` plan: keep it, or warn once and run ``tiled``."""
+    if gpu_available():
+        return "gpu"
+    if not _GPU_STATE["warned"]:
+        _GPU_STATE["warned"] = True
+        warnings.warn(
+            "kernel plan 'gpu' requested but CuPy/CUDA is unavailable; "
+            "falling back to the bit-identical 'tiled' plan",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return "tiled"
 
 
 def walsh_hadamard_inplace(vector: np.ndarray) -> np.ndarray:
@@ -208,7 +311,12 @@ def _blocked_chs(packed, weights: np.ndarray, limit: int) -> np.ndarray:
 # Symmetric triangular sweeps (the tiled / streaming fast paths)
 # ---------------------------------------------------------------------------
 def _symmetric_scores(
-    packed, probabilities: np.ndarray, weights: np.ndarray, cutoff: int, use_filter: bool
+    packed,
+    probabilities: np.ndarray,
+    weights: np.ndarray,
+    cutoff: int,
+    use_filter: bool,
+    distances_fn: Callable[[np.ndarray, np.ndarray], np.ndarray] = _tile_distances,
 ) -> np.ndarray:
     """Neighbourhood scores with known per-distance weights, one triangular pass.
 
@@ -229,7 +337,7 @@ def _symmetric_scores(
         i1 = min(i0 + tile_rows, num_outcomes)
         p_i = probabilities[i0:i1]
         # Diagonal square: every ordered pair inside [i0, i1) in one shot.
-        gathered = weights.take(_tile_distances(words[i0:i1], words[i0:i1]))
+        gathered = weights.take(distances_fn(words[i0:i1], words[i0:i1]))
         if use_filter:
             np.multiply(gathered, p_i[:, None] > p_i[None, :], out=gathered)
         else:
@@ -240,7 +348,7 @@ def _symmetric_scores(
         for j0 in range(i1, num_outcomes, tile_cols):
             j1 = min(j0 + tile_cols, num_outcomes)
             p_j = probabilities[j0:j1]
-            gathered = weights.take(_tile_distances(words[i0:i1], words[j0:j1]))
+            gathered = weights.take(distances_fn(words[i0:i1], words[j0:j1]))
             if use_filter:
                 scores[i0:i1] += (gathered * (p_i[:, None] > p_j[None, :])) @ p_j
                 scores[j0:j1] += p_i @ (gathered * (p_i[:, None] < p_j[None, :]))
@@ -265,6 +373,7 @@ def _symmetric_chs_mass(
     limit: int,
     probabilities: np.ndarray | None = None,
     use_filter: bool = True,
+    distances_fn: Callable[[np.ndarray, np.ndarray], np.ndarray] = _tile_distances,
 ):
     """Fused triangular traversal: CHS histogram + optional per-row mass matrix.
 
@@ -289,7 +398,7 @@ def _symmetric_chs_mass(
         rows = i1 - i0
         w_i = pair_weights[i0:i1]
         # Diagonal square (covers both ordered directions within the block).
-        bins = np.minimum(_tile_distances(words[i0:i1], words[i0:i1]), sentinel)
+        bins = np.minimum(distances_fn(words[i0:i1], words[i0:i1]), sentinel)
         chs += np.bincount(
             bins.ravel(),
             weights=np.broadcast_to(w_i[None, :], bins.shape).ravel(),
@@ -308,7 +417,7 @@ def _symmetric_chs_mass(
             j1 = min(j0 + tile_cols, num_outcomes)
             cols = j1 - j0
             w_j = pair_weights[j0:j1]
-            bins = np.minimum(_tile_distances(words[i0:i1], words[j0:j1]), sentinel)
+            bins = np.minimum(distances_fn(words[i0:i1], words[j0:j1]), sentinel)
             flat_bins = bins.ravel()
             # CHS takes both ordered directions from the one distance tile.
             chs += np.bincount(
@@ -362,12 +471,17 @@ def choose_plan(num_outcomes: int, num_bits: int) -> str:
       weight-gather score sweep over the upper triangle.
     * ``streaming`` — large supports on very wide registers, where popcounts
       dominate: one fused triangular traversal for CHS + filtered mass.
+    * ``gpu`` — large supports when CuPy and a CUDA device are present: the
+      tiled arithmetic with device-computed distance tiles (bit-identical
+      to ``tiled``).
 
     Precedence: ``REPRO_HAMMER_KERNEL`` (or the programmatic override)
     wins outright; otherwise a tuned :class:`~repro.core.costmodel.
-    MachineProfile` ranks the large-support plans by predicted seconds;
-    the fixed word-count crossover above is the untuned fallback.  The
-    dense boundary is **not** tunable: supports at or below
+    MachineProfile` ranks the large-support plans by predicted seconds
+    (``gpu`` is only honoured when a device is actually usable — profiles
+    travel between machines); the fixed word-count crossover above — with
+    ``gpu`` preferred outright when a device is present — is the untuned
+    fallback.  The dense boundary is **not** tunable: supports at or below
     :data:`DENSE_SUPPORT_MAX` always run the bit-identical historical
     arithmetic, profile or not, so golden fixtures and published row
     tables never drift under tuning.
@@ -382,10 +496,15 @@ def choose_plan(num_outcomes: int, num_bits: int) -> str:
     profile = costmodel.active_profile()
     if profile is not None:
         plan = profile.kernel_plan(num_outcomes, num_bits)
+        if plan == "gpu" and not gpu_available():
+            plan = None
         if plan is not None:
             costmodel.record_decision("kernel", plan, "profile")
             return plan
-    plan = "streaming" if (num_bits + 63) // 64 >= STREAMING_MIN_WORDS else "tiled"
+    if gpu_available():
+        plan = "gpu"
+    else:
+        plan = "streaming" if (num_bits + 63) // 64 >= STREAMING_MIN_WORDS else "tiled"
     costmodel.record_decision("kernel", plan, "heuristic")
     return plan
 
@@ -411,6 +530,9 @@ def chs_histogram(packed, weights: np.ndarray, limit: int, plan: str | None = No
         return np.zeros(num_bits + 1, dtype=float)
     if plan is None:
         plan = tuning.kernel_override()
+    if plan == "gpu":
+        plan = _gpu_plan_or_fallback()
+    distances_fn = _tile_distances_gpu if plan == "gpu" else _tile_distances
     # The dense-WHT eligibility rule predates the symmetric kernels and is
     # kept verbatim: whenever it fires the result is bit-identical to PR 1-4.
     dense_cost = _dense_chs_cost(num_bits)
@@ -424,9 +546,9 @@ def chs_histogram(packed, weights: np.ndarray, limit: int, plan: str | None = No
         if dense_eligible:
             return _dense_chs(packed, weights, limit)
         return _blocked_chs(packed, weights, limit)
-    elif plan == "tiled" and dense_eligible:
+    elif plan in ("tiled", "gpu") and dense_eligible:
         return _dense_chs(packed, weights, limit)
-    chs, _ = _symmetric_chs_mass(packed, weights, limit)
+    chs, _ = _symmetric_chs_mass(packed, weights, limit, distances_fn=distances_fn)
     return chs
 
 
@@ -508,18 +630,28 @@ def hammer_pass(
         )
         return chs, weights, scores, plan
 
-    if plan == "tiled":
+    if plan == "gpu":
+        plan = _gpu_plan_or_fallback()
+
+    if plan in ("tiled", "gpu"):
         # CHS first (dense WHT where eligible, else one symmetric sweep);
-        # scores in a second symmetric sweep with the weights in hand.
+        # scores in a second symmetric sweep with the weights in hand.  The
+        # gpu plan is this exact arithmetic with device-computed distance
+        # tiles — the returned plan name records where distances ran.
+        distances_fn = _tile_distances_gpu if plan == "gpu" else _tile_distances
         dense_cost = _dense_chs_cost(num_bits)
         if limit < 0:
             chs = np.zeros(num_bits + 1, dtype=float)
         elif dense_cost is not None and dense_cost < packed.num_outcomes**2:
             chs = _dense_chs(packed, probabilities, min(limit, num_bits))
         else:
-            chs, _ = _symmetric_chs_mass(packed, probabilities, min(limit, num_bits))
+            chs, _ = _symmetric_chs_mass(
+                packed, probabilities, min(limit, num_bits), distances_fn=distances_fn
+            )
         weights = weight_fn(chs)
-        scores = _symmetric_scores(packed, probabilities, weights, cutoff, use_filter)
+        scores = _symmetric_scores(
+            packed, probabilities, weights, cutoff, use_filter, distances_fn=distances_fn
+        )
         return chs, weights, scores, plan
 
     # streaming: one fused traversal for CHS + filtered mass, then M @ W.

@@ -49,7 +49,10 @@ __all__ = [
 #: which forces the pre-PR5 two-pass arithmetic at any support size (the
 #: benchmark baseline).  ``dense`` and ``legacy`` share the same arithmetic;
 #: ``dense`` is simply the dispatcher's name for it at small supports.
-KERNEL_PLANS = ("dense", "tiled", "streaming", "legacy")
+#: ``gpu`` is the tiled arithmetic with CuPy-computed distance tiles —
+#: accepted everywhere plan names are validated, degrading to ``tiled``
+#: (with a warning) when no CUDA device is usable.
+KERNEL_PLANS = ("dense", "tiled", "streaming", "legacy", "gpu")
 
 _ENV_KERNEL = "REPRO_HAMMER_KERNEL"
 _ENV_BLOCK_ENTRIES = "REPRO_PAIRWISE_BLOCK_ENTRIES"

@@ -10,6 +10,14 @@ worker count.
 
 from repro.engine.cache import ExecutionCache
 from repro.engine.engine import EngineRunStats, ExecutionEngine
+from repro.engine.executors import (
+    HostShardExecutor,
+    LoopbackHostExecutor,
+    ProcessPoolShardExecutor,
+    SerialShardExecutor,
+    ShardExecutor,
+    resolve_shard_executor,
+)
 from repro.engine.hashing import (
     circuit_fingerprint,
     coupling_fingerprint,
@@ -19,6 +27,7 @@ from repro.engine.hashing import (
     transpile_key,
 )
 from repro.engine.jobs import CircuitJob, JobResult
+from repro.engine.reduction import ReductionStats, ReductionTree, tree_merge_segments
 
 __all__ = [
     "CircuitJob",
@@ -26,6 +35,15 @@ __all__ = [
     "EngineRunStats",
     "ExecutionEngine",
     "ExecutionCache",
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ProcessPoolShardExecutor",
+    "HostShardExecutor",
+    "LoopbackHostExecutor",
+    "resolve_shard_executor",
+    "ReductionTree",
+    "ReductionStats",
+    "tree_merge_segments",
     "circuit_fingerprint",
     "coupling_fingerprint",
     "ideal_key",

@@ -51,6 +51,10 @@ _FULL_CHUNKS = (65_536, 131_072, 262_144, 524_288, 1_048_576)
 _MAX_CHUNK_SHOTS = 2_097_152
 
 _KERNEL_TERMS = ("n2w", "n", "1")
+#: The gpu plan's curve adds transfer-shaped terms: per-tile host<->device
+#: copies scale with ``n*w`` (rows in, distance matrix back) and a per-call
+#: launch cost rides on ``w`` and the constant.
+_GPU_KERNEL_TERMS = ("n2w", "nw", "w", "1")
 _SAMPLER_TERMS = ("shots_qubits", "shots", "1")
 _STATEVECTOR_TERMS = ("pow2q_q", "1")
 _STABILIZER_TERMS = ("q3", "q2", "1")
@@ -133,9 +137,19 @@ def _bv_circuit(qubits: int, seed: int):
 def _bench_kernels(config: TuneConfig, rows: list[dict[str, Any]]):
     """Time every tunable kernel plan across the (support × width) grid."""
     from repro.core.hammer import neighborhood_scores
+    from repro.core.kernels import gpu_available
 
+    # The gpu column only exists where a device is usable: benching it
+    # anywhere else would time the tiled fallback under a gpu label and
+    # poison the profile.  Skipped-not-failed, and the dispatcher re-checks
+    # availability before honouring a profile's gpu ranking anyway.
+    active_plans = tuple(
+        plan
+        for plan in costmodel.TUNABLE_KERNEL_PLANS
+        if plan != "gpu" or gpu_available()
+    )
     measurements: dict[str, tuple[list[dict[str, float]], list[float]]] = {
-        plan: ([], []) for plan in costmodel.TUNABLE_KERNEL_PLANS
+        plan: ([], []) for plan in active_plans
     }
     grid: list[dict[str, Any]] = []
     for width in config.kernel_widths:
@@ -144,7 +158,7 @@ def _bench_kernels(config: TuneConfig, rows: list[dict[str, Any]]):
             n = distribution.num_outcomes
             w = (distribution.num_bits + 63) // 64
             point: dict[str, Any] = {"support": n, "width": distribution.num_bits}
-            for plan in costmodel.TUNABLE_KERNEL_PLANS:
+            for plan in active_plans:
                 tuning.set_kernel_override(plan)
                 try:
                     neighborhood_scores(distribution)  # warm-up
@@ -158,12 +172,16 @@ def _bench_kernels(config: TuneConfig, rows: list[dict[str, Any]]):
                 targets.append(seconds)
                 point[plan] = seconds
             point["measured_fastest"] = min(
-                costmodel.TUNABLE_KERNEL_PLANS, key=lambda plan: point[plan]
+                active_plans, key=lambda plan: point[plan]
             )
             grid.append(point)
             rows.append({"bench": "kernel", **point})
     curves = {
-        plan: fit_cost_curve(_KERNEL_TERMS, feature_rows, targets)
+        plan: fit_cost_curve(
+            _GPU_KERNEL_TERMS if plan == "gpu" else _KERNEL_TERMS,
+            feature_rows,
+            targets,
+        )
         for plan, (feature_rows, targets) in measurements.items()
     }
     return curves, grid

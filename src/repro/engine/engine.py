@@ -20,8 +20,13 @@ three phases, deduplicating shared work through the content-addressed
    stream, so grouped histograms are bit-identical to ungrouped ones.
    Jobs above the shard threshold (``REPRO_SAMPLE_SHARD_SHOTS``, default
    262,144) are split into fixed-size shot chunks with per-chunk seed
-   streams; chunk histograms merge in a deterministic reduction order, so
-   million-shot sweeps run in bounded memory and fan out over workers.
+   streams; chunks execute on a pluggable
+   :class:`~repro.engine.executors.ShardExecutor` (serial / process-pool
+   today, host-addressable tomorrow) and their partial histograms stream
+   into a fixed-shape :class:`~repro.engine.reduction.ReductionTree` as
+   they complete — peak live segments stay ``O(log chunks)``, merges
+   overlap with sampling, and the merged histogram is bit-identical for
+   any placement or completion order.
    Histograms are cached under a key that includes the noise model's
    fingerprint (with any calibration snapshot), the job's seed entropy and
    the shard layout, so re-running a sweep with the same seed skips the
@@ -61,6 +66,12 @@ from repro.core import costmodel
 from repro.core.distribution import Distribution
 from repro.core.profiling import record_phase_seconds
 from repro.engine.cache import ExecutionCache
+from repro.engine.executors import (
+    ENV_SHARD_EXECUTOR,
+    SHARD_EXECUTOR_NAMES,
+    ShardExecutor,
+    resolve_shard_executor,
+)
 from repro.engine.hashing import (
     circuit_fingerprint,
     ideal_key,
@@ -69,10 +80,10 @@ from repro.engine.hashing import (
     transpile_key,
 )
 from repro.engine.jobs import CircuitJob, JobResult
+from repro.engine.reduction import ReductionTree
 from repro.exceptions import BackendError, EngineError
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.sampler import (
-    merge_counted_chunks,
     sample_bitflip_batch,
     sample_bitflip_chunk,
     sample_trajectory_distribution,
@@ -116,6 +127,18 @@ class EngineRunStats:
     grouped_sample_jobs: int = 0
     sharded_jobs: int = 0
     sample_shards: int = 0
+    #: Pairwise reduction-tree merges performed over shard segments.
+    reduction_merges: int = 0
+    #: Deepest reduction tree of the run (``ceil(log2(chunks))`` of the
+    #: most-sharded job); 0 when nothing sharded.
+    reduction_tree_depth: int = 0
+    #: Most live segments any job's tree ever held at once — the measured
+    #: bounded-memory guarantee (``depth + 1`` for in-order completion,
+    #: plus the executor's out-of-order window otherwise).
+    reduction_peak_live_segments: int = 0
+    #: Wall seconds inside pairwise shard merges (overlapped with sampling
+    #: on streaming executors, so this can exceed its wall-clock share).
+    merge_seconds: float = 0.0
     prepare_seconds: float = 0.0
     sample_seconds: float = 0.0
     wall_seconds: float = 0.0
@@ -146,6 +169,14 @@ class EngineRunStats:
         self.grouped_sample_jobs += other.grouped_sample_jobs
         self.sharded_jobs += other.sharded_jobs
         self.sample_shards += other.sample_shards
+        self.reduction_merges += other.reduction_merges
+        self.reduction_tree_depth = max(
+            self.reduction_tree_depth, other.reduction_tree_depth
+        )
+        self.reduction_peak_live_segments = max(
+            self.reduction_peak_live_segments, other.reduction_peak_live_segments
+        )
+        self.merge_seconds += other.merge_seconds
         self.prepare_seconds += other.prepare_seconds
         self.sample_seconds += other.sample_seconds
         self.wall_seconds += other.wall_seconds
@@ -170,6 +201,10 @@ class EngineRunStats:
             "grouped_sample_jobs": self.grouped_sample_jobs,
             "sharded_jobs": self.sharded_jobs,
             "sample_shards": self.sample_shards,
+            "reduction_merges": self.reduction_merges,
+            "reduction_tree_depth": self.reduction_tree_depth,
+            "reduction_peak_live_segments": self.reduction_peak_live_segments,
+            "merge_seconds": self.merge_seconds,
             "prepare_seconds": self.prepare_seconds,
             "sample_seconds": self.sample_seconds,
             "wall_seconds": self.wall_seconds,
@@ -274,6 +309,15 @@ class ExecutionEngine:
         deterministically merged).  ``None`` reads
         ``REPRO_SAMPLE_SHARD_SHOTS`` and falls back to
         :data:`DEFAULT_SAMPLE_SHARD_SHOTS`.
+    shard_executor:
+        Which :class:`~repro.engine.executors.ShardExecutor` runs sharded
+        chunk tasks: ``"auto"`` (default — serial in-process at
+        ``max_workers=1``, the engine's process pool otherwise),
+        ``"serial"``, ``"process-pool"``, ``"loopback"``, or a
+        ready-built executor instance.  ``None`` reads
+        ``REPRO_SHARD_EXECUTOR`` and falls back to ``"auto"``.  The choice
+        never affects results — the reduction tree merges identically for
+        any placement — only where chunks run.
     """
 
     def __init__(
@@ -282,6 +326,7 @@ class ExecutionEngine:
         cache: ExecutionCache | None = None,
         cache_dir: str | None = None,
         sample_shard_shots: int | None = None,
+        shard_executor: "str | ShardExecutor | None" = None,
     ) -> None:
         if max_workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
@@ -309,6 +354,33 @@ class ExecutionEngine:
             )
         self.sample_shard_shots = int(sample_shard_shots)
         self._shard_override = shard_override
+        # Executor selection mirrors the shard-threshold precedence: an
+        # explicit argument or env value is an override (recorded as such in
+        # planner provenance); otherwise "auto" follows the worker count.
+        self._shard_executor_instance: ShardExecutor | None = None
+        executor_override = shard_executor is not None
+        if isinstance(shard_executor, ShardExecutor):
+            self._shard_executor_instance = shard_executor
+            self._shard_executor_name = shard_executor.name
+        else:
+            if shard_executor is None:
+                raw = os.environ.get(ENV_SHARD_EXECUTOR)
+                if raw is not None and raw.strip():
+                    shard_executor = raw.strip().lower()
+                    executor_override = True
+                else:
+                    shard_executor = "auto"
+            if shard_executor not in SHARD_EXECUTOR_NAMES:
+                raise EngineError(
+                    f"unknown shard executor {shard_executor!r}; expected one "
+                    f"of {SHARD_EXECUTOR_NAMES}"
+                )
+            if shard_executor == "process-pool" and self.max_workers <= 1:
+                raise EngineError(
+                    "shard executor 'process-pool' requires max_workers > 1"
+                )
+            self._shard_executor_name = shard_executor
+        self._shard_executor_override = executor_override
         self.cache = cache if cache is not None else ExecutionCache(cache_dir)
         self.last_run_stats: EngineRunStats | None = None
         #: Totals over every :meth:`run` since construction.  Studies that
@@ -350,11 +422,90 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
     # Generic parallel map
     # ------------------------------------------------------------------
-    def _map(self, pool: ProcessPoolExecutor | None, fn: Callable, tasks: Sequence) -> list:
+    def _map(
+        self,
+        pool: ProcessPoolExecutor | None,
+        fn: Callable,
+        tasks: Sequence,
+        est_task_seconds: float | None = None,
+    ) -> list:
         if pool is None or len(tasks) <= 1:
             return [fn(task) for task in tasks]
-        chunksize = max(1, len(tasks) // (self.max_workers * 4))
+        chunksize = self._pool_chunksize(len(tasks), est_task_seconds)
         return list(pool.map(fn, tasks, chunksize=chunksize))
+
+    def _pool_chunksize(self, num_tasks: int, est_task_seconds: float | None) -> int:
+        """Tasks per pool dispatch: count heuristic + overhead-aware floor.
+
+        The count-only formula (``num_tasks // (workers * 4)``) over-splits
+        small batches of cheap tasks: eight 2 ms group slices ship one per
+        dispatch and the measured per-job IPC overhead dominates.  With a
+        tuned profile and a per-task work estimate, each chunk is sized to
+        carry at least ~4x the measured dispatch overhead of work (capped at
+        ``num_tasks / workers`` so every worker still receives a chunk).
+        Chunking only changes how tasks travel, never their seed streams,
+        so results are identical for any chunksize.
+        """
+        chunksize = max(1, num_tasks // (self.max_workers * 4))
+        if est_task_seconds is None or est_task_seconds <= 0.0:
+            return chunksize
+        profile = costmodel.active_profile()
+        if profile is None:
+            return chunksize
+        overhead = float(profile.engine.get("per_job_overhead", 0.0))
+        if overhead <= 0.0:
+            return chunksize
+        amortized = int(np.ceil(4.0 * overhead / est_task_seconds))
+        per_worker_cap = max(1, -(-num_tasks // self.max_workers))
+        return max(chunksize, min(amortized, per_worker_cap))
+
+    def _estimate_group_seconds(self, group_tasks: Sequence[tuple]) -> float | None:
+        """Mean predicted seconds per group slice, if a profile can price them."""
+        profile = costmodel.active_profile()
+        if profile is None or not group_tasks:
+            return None
+        total = 0.0
+        for circuit, _ideal, _noise_model, requests in group_tasks:
+            shots = sum(request[1] for request in requests)
+            seconds = profile.predict_sample_seconds(shots, circuit.num_qubits)
+            if seconds is None:
+                return None
+            total += seconds
+        return total / len(group_tasks)
+
+    def _resolve_shard_executor(
+        self,
+        pool: ProcessPoolExecutor | None,
+        num_tasks: int,
+        stats: EngineRunStats,
+    ) -> ShardExecutor:
+        """Pick the executor for this batch's shard tasks, recording provenance.
+
+        A sharded batch can reach here with ``pool is None`` even at
+        ``max_workers > 1`` — single-job batches never open the pool, and
+        :meth:`_plan_workers` only prices unsharded work.  Shard chunks are
+        by construction big enough to amortize worker dispatch, so both
+        ``auto`` and an explicit ``process-pool`` selection open the pool
+        here when the worker count allows fan-out.
+        """
+        if self._shard_executor_instance is not None:
+            executor = self._shard_executor_instance
+        else:
+            name = self._shard_executor_name
+            if (
+                pool is None
+                and self.max_workers > 1
+                and num_tasks > 1
+                and name in ("auto", "process-pool")
+            ):
+                pool = self._get_pool()
+            executor = resolve_shard_executor(name, pool)
+        stats.record_planner(
+            "shard-executor",
+            executor.name,
+            "override" if self._shard_executor_override else "heuristic",
+        )
+        return executor
 
     def map_timed(self, fn: Callable, items: Iterable) -> list[tuple[Any, float]]:
         """Run ``fn`` over ``items`` (respecting ``max_workers``), timing each call.
@@ -658,7 +809,10 @@ class ExecutionEngine:
                     )
                 )
 
-        for task_results in self._map(pool, _sample_group_task, group_tasks):
+        group_estimate = self._estimate_group_seconds(group_tasks)
+        for task_results in self._map(
+            pool, _sample_group_task, group_tasks, est_task_seconds=group_estimate
+        ):
             for index, noisy, sample_seconds in task_results:
                 self.cache.put("sample", job_skeys[index], noisy)
                 sampled_by_index[index] = (noisy, sample_seconds, False)
@@ -668,18 +822,41 @@ class ExecutionEngine:
             self.cache.put("sample", job_skeys[index], noisy)
             sampled_by_index[index] = (noisy, sample_seconds, False)
         if shard_tasks:
-            chunk_results: dict[int, dict[int, tuple[np.ndarray, np.ndarray]]] = {}
+            # Streaming shard path: chunks execute on the configured
+            # ShardExecutor and merge into each job's fixed-shape reduction
+            # tree *as they complete* — no barrier-collect, peak live
+            # segments O(log chunks) per job, and the merged histogram is
+            # bit-identical for any executor and completion order.
+            executor = self._resolve_shard_executor(pool, len(shard_tasks), stats)
+            trees: dict[int, ReductionTree] = {
+                index: ReductionTree(count, executed_circuits[index].num_qubits)
+                for index, count in shard_chunk_counts.items()
+            }
             chunk_seconds: dict[int, float] = {}
-            for index, chunk, words, counts, elapsed in self._map(
-                pool, _sample_shard_task, shard_tasks
-            ):
-                chunk_results.setdefault(index, {})[chunk] = (words, counts)
-                chunk_seconds[index] = chunk_seconds.get(index, 0.0) + elapsed
-            for index, chunks in sorted(chunk_results.items()):
-                ordered = [chunks[chunk] for chunk in range(shard_chunk_counts[index])]
-                noisy = merge_counted_chunks(ordered, executed_circuits[index].num_qubits)
-                self.cache.put("sample", job_skeys[index], noisy)
-                sampled_by_index[index] = (noisy, chunk_seconds[index], False)
+            try:
+                for index, chunk, words, counts, elapsed in executor.run(
+                    _sample_shard_task, shard_tasks
+                ):
+                    chunk_seconds[index] = chunk_seconds.get(index, 0.0) + elapsed
+                    tree = trees[index]
+                    tree.add(chunk, words, counts)
+                    if tree.complete:
+                        noisy = tree.distribution()
+                        self.cache.put("sample", job_skeys[index], noisy)
+                        sampled_by_index[index] = (noisy, chunk_seconds[index], False)
+                        tree_stats = tree.stats()
+                        stats.reduction_merges += tree_stats.merges
+                        stats.reduction_tree_depth = max(
+                            stats.reduction_tree_depth, tree_stats.depth
+                        )
+                        stats.reduction_peak_live_segments = max(
+                            stats.reduction_peak_live_segments,
+                            tree_stats.peak_live_segments,
+                        )
+                        stats.merge_seconds += tree_stats.merge_seconds
+                        del trees[index]
+            finally:
+                executor.close()
         record_phase_seconds("sample", time.perf_counter() - phase_start)
 
         # ---- Assemble results in batch order ----

@@ -1,0 +1,228 @@
+"""Pluggable shard executors: *where* sharded sampling chunks run.
+
+The engine's phase-3 shard path used to be welded to its own process pool:
+chunk tasks went through ``pool.map`` and every result was collected before
+any merging began.  This module splits "where chunks execute" from "how
+results merge" behind one small interface:
+
+:class:`ShardExecutor`
+    ``run(fn, tasks)`` yields ``fn(task)`` results **as they complete**, in
+    whatever order the backing substrate produces them.  Callers must not
+    rely on ordering — downstream merging is a fixed-shape
+    :class:`~repro.engine.reduction.ReductionTree` keyed by chunk index,
+    which is exactly what makes arbitrary placement and completion order
+    safe.  Tasks and results must be picklable (the process-pool and any
+    future remote executor ship them across process/host boundaries).
+
+Implementations today:
+
+* :class:`SerialShardExecutor` — in-process, yields in submission order.
+  The streaming degenerate case: one chunk's scratch matrices live at a
+  time, merges interleave with sampling.
+* :class:`ProcessPoolShardExecutor` — fans chunks out over a
+  ``ProcessPoolExecutor`` and yields via ``as_completed``, so the first
+  finished chunk starts merging while later chunks are still sampling.
+* :class:`HostShardExecutor` — the host-addressable interface stub for
+  multi-node execution: a subclass implements :meth:`run_on_host` (ship
+  one task to one named host, return its result) and inherits the
+  round-robin placement + result streaming.  :class:`LoopbackHostExecutor`
+  is the reference implementation — every "host" is this process — used to
+  pin the protocol down (and, deliberately, to yield results host-major,
+  i.e. *out* of submission order, so tests exercise the order-independence
+  the reduction tree guarantees).
+
+Selection: the engine picks serial/process-pool automatically from its
+worker count; ``REPRO_SHARD_EXECUTOR`` (or the ``shard_executor``
+constructor argument) overrides with ``serial`` / ``process-pool`` /
+``loopback``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any
+
+from repro.exceptions import EngineError
+
+__all__ = [
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ProcessPoolShardExecutor",
+    "HostShardExecutor",
+    "LoopbackHostExecutor",
+    "resolve_shard_executor",
+    "SHARD_EXECUTOR_NAMES",
+    "ENV_SHARD_EXECUTOR",
+]
+
+ENV_SHARD_EXECUTOR = "REPRO_SHARD_EXECUTOR"
+
+#: Names accepted by the engine's executor selection (``auto`` = pick from
+#: the worker count).
+SHARD_EXECUTOR_NAMES = ("auto", "serial", "process-pool", "loopback")
+
+
+class ShardExecutor(ABC):
+    """Executes picklable chunk tasks somewhere; streams results back."""
+
+    #: Short name recorded in planner provenance.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(self, fn: Callable, tasks: Sequence) -> Iterator[Any]:
+        """Yield ``fn(task)`` for every task, in completion order.
+
+        Ordering is an implementation detail; callers must key any
+        downstream reduction on task contents (e.g. chunk index), never on
+        arrival position.
+        """
+
+    def close(self) -> None:
+        """Release any resources; the default executor owns none."""
+
+
+class SerialShardExecutor(ShardExecutor):
+    """Run every chunk in-process, yielding each result before the next runs.
+
+    This *is* the bounded-memory streaming path at ``max_workers=1``: the
+    caller merges one chunk's ``(words, counts)`` segment while only the
+    next chunk's scratch matrices are live.
+    """
+
+    name = "serial"
+
+    def run(self, fn: Callable, tasks: Sequence) -> Iterator[Any]:
+        for task in tasks:
+            yield fn(task)
+
+
+class ProcessPoolShardExecutor(ShardExecutor):
+    """Fan chunks out over a process pool; yield results as futures finish.
+
+    The pool is borrowed (the engine owns and reuses it across batches), so
+    :meth:`close` leaves it running.  ``max_in_flight`` caps how many chunk
+    tasks are submitted but not yet consumed — the backpressure that keeps
+    the reduction tree's out-of-order window (and therefore its peak live
+    segments) bounded by the pool width rather than the batch size.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, pool: ProcessPoolExecutor, max_in_flight: int | None = None) -> None:
+        if pool is None:
+            raise EngineError("ProcessPoolShardExecutor requires a process pool")
+        self._pool = pool
+        workers = getattr(pool, "_max_workers", None) or 1
+        self._max_in_flight = int(max_in_flight) if max_in_flight else 4 * workers
+        if self._max_in_flight < 1:
+            raise EngineError(
+                f"max_in_flight must be >= 1, got {self._max_in_flight}"
+            )
+
+    def run(self, fn: Callable, tasks: Sequence) -> Iterator[Any]:
+        pending = set()
+        queue = iter(tasks)
+        exhausted = False
+        while True:
+            while not exhausted and len(pending) < self._max_in_flight:
+                task = next(queue, None)
+                if task is None:
+                    exhausted = True
+                    break
+                pending.add(self._pool.submit(fn, task))
+            if not pending:
+                return
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield future.result()
+
+
+class HostShardExecutor(ShardExecutor):
+    """Interface stub for executors that place chunks on named hosts.
+
+    Tomorrow's multi-node executor implements :meth:`run_on_host` — ship
+    one picklable task to ``host``, block until its result returns — and
+    gets placement for free: tasks are dealt round-robin across
+    ``self.hosts`` (fixed, index-keyed, so placement is deterministic even
+    though result *order* need not be).  The base class makes the protocol
+    constraints concrete enough to test against today:
+
+    * tasks and results cross a serialization boundary,
+    * results stream back per host with no global ordering,
+    * correctness therefore rests entirely on the reduction tree's fixed
+      shape, not on arrival order.
+    """
+
+    name = "host"
+
+    def __init__(self, hosts: Sequence[str]) -> None:
+        if not hosts:
+            raise EngineError("HostShardExecutor needs at least one host")
+        self.hosts = tuple(str(host) for host in hosts)
+
+    @abstractmethod
+    def run_on_host(self, host: str, fn: Callable, task: Any) -> Any:
+        """Execute one task on one host and return its result."""
+
+    def placement(self, num_tasks: int) -> list[str]:
+        """Deterministic round-robin host for each task index."""
+        return [self.hosts[index % len(self.hosts)] for index in range(num_tasks)]
+
+    def run(self, fn: Callable, tasks: Sequence) -> Iterator[Any]:
+        # Host-major iteration: every host drains its own task list
+        # independently, and this base implementation surfaces them host by
+        # host — deliberately *not* submission order, the worst legal case
+        # a reduction consumer must tolerate.
+        tasks = list(tasks)
+        placement = self.placement(len(tasks))
+        for host in self.hosts:
+            for index, task in enumerate(tasks):
+                if placement[index] == host:
+                    yield self.run_on_host(host, fn, task)
+
+
+class LoopbackHostExecutor(HostShardExecutor):
+    """Every "host" is this process: the reference HostShardExecutor.
+
+    Exists to keep the host protocol honest — tests route real sharded
+    engine runs through it and assert bit-identity with the serial and
+    process-pool executors despite its host-major (out-of-submission)
+    result order.
+    """
+
+    name = "loopback"
+
+    def __init__(self, hosts: Sequence[str] = ("loop-0", "loop-1")) -> None:
+        super().__init__(hosts)
+
+    def run_on_host(self, host: str, fn: Callable, task: Any) -> Any:
+        return fn(task)
+
+
+def resolve_shard_executor(
+    name: str,
+    pool: ProcessPoolExecutor | None,
+) -> ShardExecutor:
+    """Build the shard executor ``name`` asks for (``auto`` = from the pool).
+
+    ``process-pool`` without a pool (``max_workers=1``) is a configuration
+    error rather than a silent serial fallback — an explicit selection must
+    not quietly mean something else.
+    """
+    if name == "auto":
+        return ProcessPoolShardExecutor(pool) if pool is not None else SerialShardExecutor()
+    if name == "serial":
+        return SerialShardExecutor()
+    if name == "process-pool":
+        if pool is None:
+            raise EngineError(
+                "shard executor 'process-pool' requires max_workers > 1"
+            )
+        return ProcessPoolShardExecutor(pool)
+    if name == "loopback":
+        return LoopbackHostExecutor()
+    raise EngineError(
+        f"unknown shard executor {name!r}; expected one of {SHARD_EXECUTOR_NAMES}"
+    )

@@ -48,6 +48,18 @@ class EngineError(ReproError):
     """Raised when an execution-engine job batch or cache is misconfigured."""
 
 
+class MergeError(EngineError, NoiseModelError):
+    """Raised when sharded partial histograms cannot be merged.
+
+    Merging shot-shard segments is an engine concern (the reduction tree in
+    :mod:`repro.engine.reduction`), so this derives from :class:`EngineError`.
+    It *also* derives from :class:`NoiseModelError` for one release:
+    ``merge_counted_chunks`` historically raised ``NoiseModelError``, and
+    callers catching that must keep working until they migrate.  The
+    ``NoiseModelError`` parentage is deprecated and will be dropped.
+    """
+
+
 class BackendError(ReproError):
     """Raised when a simulation backend cannot run a circuit.
 

@@ -225,6 +225,12 @@ def attach_engine_meta(report: ExperimentReport, engine, trace=None) -> Experime
                 for kind, counts in sorted(stats.planner_decisions.items())
             },
             "costmodel": costmodel.decision_counts(),
+            "reduction": {
+                "merges": stats.reduction_merges,
+                "tree_depth": stats.reduction_tree_depth,
+                "peak_live_segments": stats.reduction_peak_live_segments,
+                "merge_seconds": stats.merge_seconds,
+            },
         }
     if trace is not None:
         report.meta["jobs"] = [result.as_trace_row() for result in trace]

@@ -47,7 +47,7 @@ import numpy as np
 
 from repro.core.bitstring import PackedOutcomes, pack_bit_matrix
 from repro.core.distribution import Distribution
-from repro.exceptions import CircuitError, NoiseModelError
+from repro.exceptions import CircuitError, MergeError, NoiseModelError
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.noise import NoiseModel
 from repro.quantum.statevector import Statevector, simulate_statevector
@@ -310,9 +310,14 @@ def merge_counted_chunks(
     callers pass segments in ascending chunk index, the merged support is
     re-sorted by outcome value, and counts are integer-valued floats whose
     addition is exact — so ``--jobs 1/2/4`` produce bit-identical rows.
+
+    This flat reduction is the reference the engine's streaming
+    :class:`~repro.engine.reduction.ReductionTree` is bit-identical to; the
+    engine itself now merges through the tree, and this helper remains for
+    callers that already hold every segment.
     """
     if not segments:
-        raise NoiseModelError("cannot merge zero sampled chunks")
+        raise MergeError("cannot merge zero sampled chunks")
     words = np.vstack([segment_words for segment_words, _ in segments])
     counts = np.concatenate([segment_counts for _, segment_counts in segments])
     packed, totals = PackedOutcomes._aggregate_words(words, num_bits, weights=counts)

@@ -241,3 +241,106 @@ class TestAverageChsRoutesThroughKernels:
         expected = average_chs(dist)
         _force(plan)
         assert np.allclose(average_chs(dist), expected, atol=1e-9)
+
+
+class TestGpuTier:
+    """The optional CuPy tier: graceful degradation everywhere, exact on-device.
+
+    Only the final class is ``gpu``-marked; the fallback contract must hold
+    (and is exercised) on machines with no CUDA device at all.
+    """
+
+    def test_gpu_plan_name_is_registered(self):
+        assert "gpu" in tuning.KERNEL_PLANS
+        tuning.set_kernel_override("gpu")
+        assert tuning.kernel_override() == "gpu"
+
+    def test_gpu_env_override_accepted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HAMMER_KERNEL", "gpu")
+        assert tuning.kernel_override() == "gpu"
+
+    def test_fallback_without_device_is_bit_identical_to_tiled(self):
+        import warnings
+
+        from repro.core import kernels
+
+        if kernels.gpu_available():
+            pytest.skip("CUDA device present: fallback path not reachable")
+        rng = np.random.default_rng(11)
+        bits = np.unique(rng.integers(0, 2, size=(1400, 70), dtype=np.uint8), axis=0)
+        strings = ["".join("1" if b else "0" for b in row) for row in bits]
+        dist = Distribution(
+            dict(zip(strings, rng.random(len(strings)) + 0.01)), num_bits=70
+        )
+        packed = dist.packed()
+        probs = dist.probability_vector()
+        weight_fn = lambda chs: np.where(chs > 0, 1.0 / np.maximum(chs, 1e-12), 0.0)  # noqa: E731
+        reference = kernels.hammer_pass(packed, probs, 5, weight_fn, True, plan="tiled")
+        kernels._GPU_STATE["warned"] = False
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            degraded = kernels.hammer_pass(packed, probs, 5, weight_fn, True, plan="gpu")
+        assert degraded[3] == "tiled"  # provenance records where it actually ran
+        for ref, got in zip(reference[:3], degraded[:3]):
+            assert np.array_equal(ref, got)
+        # The warning fires once per process, not once per call.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            kernels.chs_histogram(packed, probs, 5, plan="gpu")
+        assert not caught
+
+    def test_dispatcher_never_picks_gpu_without_device(self):
+        from repro.core import kernels
+
+        if kernels.gpu_available():
+            pytest.skip("CUDA device present")
+        assert choose_plan(DENSE_SUPPORT_MAX + 1, 12) != "gpu"
+
+    @pytest.mark.gpu
+    def test_gpu_distances_bit_identical_to_cpu(self):
+        from repro.core import kernels
+
+        rng = np.random.default_rng(13)
+        for num_words in (1, 2, 3):
+            words_a = rng.integers(0, 2**63, size=(97, num_words), dtype=np.uint64)
+            words_b = rng.integers(0, 2**63, size=(53, num_words), dtype=np.uint64)
+            cpu = kernels._tile_distances(words_a, words_b)
+            gpu = kernels._tile_distances_gpu(words_a, words_b)
+            assert cpu.dtype == gpu.dtype
+            assert np.array_equal(cpu, gpu)
+
+    @pytest.mark.gpu
+    def test_gpu_plan_bit_identical_to_tiled(self):
+        from repro.core import kernels
+
+        rng = np.random.default_rng(17)
+        bits = np.unique(rng.integers(0, 2, size=(1400, 70), dtype=np.uint8), axis=0)
+        strings = ["".join("1" if b else "0" for b in row) for row in bits]
+        dist = Distribution(
+            dict(zip(strings, rng.random(len(strings)) + 0.01)), num_bits=70
+        )
+        packed = dist.packed()
+        probs = dist.probability_vector()
+        weight_fn = lambda chs: np.where(chs > 0, 1.0 / np.maximum(chs, 1e-12), 0.0)  # noqa: E731
+        tiled = kernels.hammer_pass(packed, probs, 5, weight_fn, True, plan="tiled")
+        gpu = kernels.hammer_pass(packed, probs, 5, weight_fn, True, plan="gpu")
+        assert gpu[3] == "gpu"
+        for ref, got in zip(tiled[:3], gpu[:3]):
+            assert np.array_equal(ref, got)
+
+    def test_profile_gpu_ranking_ignored_without_device(self):
+        from repro.core import costmodel, kernels
+
+        if kernels.gpu_available():
+            pytest.skip("CUDA device present")
+        # A travelled profile tuned on a GPU box ranks gpu first; this
+        # machine has no device, so the dispatcher must fall through.
+        fast = costmodel.CostCurve(terms=("1",), coefficients=(1e-9,))
+        slow = costmodel.CostCurve(terms=("1",), coefficients=(10.0,))
+        profile = costmodel.MachineProfile(
+            kernels={"gpu": fast, "tiled": slow, "streaming": slow}
+        )
+        costmodel.set_active_profile(profile)
+        try:
+            assert choose_plan(DENSE_SUPPORT_MAX + 1, 12) != "gpu"
+        finally:
+            costmodel.reset_active_profile()

@@ -1,0 +1,171 @@
+"""Shard executor tests: selection, streaming, and bit-identity guarantees.
+
+The load-bearing property: *which executor runs the chunks of a sharded
+sampling job must be invisible in the results*.  Rows are bit-identical for
+``--jobs 1/2/4`` and for every executor — including the loopback host
+executor, which deliberately yields results out of submission order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.bv import bernstein_vazirani
+from repro.core import costmodel
+from repro.engine import CircuitJob, ExecutionEngine
+from repro.engine.executors import (
+    LoopbackHostExecutor,
+    SerialShardExecutor,
+    resolve_shard_executor,
+)
+from repro.exceptions import EngineError
+from repro.quantum.device import get_device
+
+
+@pytest.fixture(scope="module")
+def device():
+    return get_device("ibm-paris")
+
+
+def _sharded_run(device, **engine_kwargs):
+    """One 40k-shot job sharded into 8k chunks; returns (distribution, stats)."""
+    engine = ExecutionEngine(sample_shard_shots=8_192, **engine_kwargs)
+    try:
+        job = CircuitJob(
+            job_id="shard-exec",
+            circuit=bernstein_vazirani("10110"),
+            shots=40_000,
+            noise_model=device.noise_model,
+        )
+        result = engine.run([job], seed=7)[0]
+        return result.noisy, engine.last_run_stats
+    finally:
+        engine.close()
+
+
+class TestExecutorBitIdentity:
+    def test_rows_bit_identical_across_jobs_and_executors(self, device):
+        reference, _ = _sharded_run(device, max_workers=1)
+        for workers in (1, 2, 4):
+            for executor in ("serial", "loopback"):
+                noisy, stats = _sharded_run(
+                    device, max_workers=workers, shard_executor=executor
+                )
+                assert (
+                    noisy.probabilities() == reference.probabilities()
+                ), f"jobs={workers} executor={executor}"
+        noisy, _ = _sharded_run(device, max_workers=4, shard_executor="process-pool")
+        assert noisy.probabilities() == reference.probabilities()
+
+    def test_executor_instance_accepted(self, device):
+        reference, _ = _sharded_run(device, max_workers=1)
+        noisy, stats = _sharded_run(
+            device, max_workers=1, shard_executor=LoopbackHostExecutor()
+        )
+        assert noisy.probabilities() == reference.probabilities()
+        assert stats.planner_decisions["shard-executor"] == {"loopback/override": 1}
+
+
+class TestExecutorSelection:
+    def test_env_override(self, device, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_EXECUTOR", "serial")
+        _, stats = _sharded_run(device, max_workers=4)
+        assert stats.planner_decisions["shard-executor"] == {"serial/override": 1}
+
+    def test_auto_uses_pool_when_workers_allow(self, device):
+        _, stats = _sharded_run(device, max_workers=4)
+        assert stats.planner_decisions["shard-executor"] == {"process-pool/heuristic": 1}
+        _, stats = _sharded_run(device, max_workers=1)
+        assert stats.planner_decisions["shard-executor"] == {"serial/heuristic": 1}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(EngineError, match="unknown shard executor"):
+            ExecutionEngine(shard_executor="quantum-teleport")
+        with pytest.raises(EngineError, match="unknown shard executor"):
+            resolve_shard_executor("quantum-teleport", None)
+
+    def test_process_pool_needs_workers(self):
+        with pytest.raises(EngineError, match="max_workers > 1"):
+            ExecutionEngine(max_workers=1, shard_executor="process-pool")
+        with pytest.raises(EngineError, match="max_workers > 1"):
+            resolve_shard_executor("process-pool", None)
+
+
+class TestHostExecutorProtocol:
+    def test_loopback_yields_host_major_out_of_order(self):
+        executor = LoopbackHostExecutor(hosts=("a", "b"))
+        tasks = list(range(6))
+        assert executor.placement(6) == ["a", "b", "a", "b", "a", "b"]
+        results = list(executor.run(lambda task: task, tasks))
+        # Host-major: host a's tasks first, then host b's — NOT 0..5.
+        assert results == [0, 2, 4, 1, 3, 5]
+
+    def test_serial_preserves_order(self):
+        executor = SerialShardExecutor()
+        assert list(executor.run(lambda task: task * 2, [1, 2, 3])) == [2, 4, 6]
+
+    def test_empty_hosts_rejected(self):
+        with pytest.raises(EngineError):
+            LoopbackHostExecutor(hosts=())
+
+
+class TestReductionStatsSurface:
+    def test_run_stats_count_tree_work(self, device):
+        _, stats = _sharded_run(device, max_workers=1)
+        # 40_000 shots / 8_192 = 5 chunks -> 4 merges, depth 3.
+        assert stats.sample_shards == 5
+        assert stats.reduction_merges == 4
+        assert stats.reduction_tree_depth == 3
+        assert stats.reduction_peak_live_segments >= 2
+        assert stats.merge_seconds >= 0.0
+        as_dict = stats.as_dict()
+        for key in (
+            "reduction_merges",
+            "reduction_tree_depth",
+            "reduction_peak_live_segments",
+            "merge_seconds",
+        ):
+            assert key in as_dict
+
+    def test_planner_meta_reduction_block(self, device):
+        from repro.experiments.runner import ExperimentReport, attach_engine_meta
+
+        engine = ExecutionEngine(max_workers=1, sample_shard_shots=8_192)
+        try:
+            job = CircuitJob(
+                job_id="meta",
+                circuit=bernstein_vazirani("10110"),
+                shots=40_000,
+                noise_model=device.noise_model,
+            )
+            engine.run([job], seed=7)
+            report = ExperimentReport(name="meta-check")
+            attach_engine_meta(report, engine)
+        finally:
+            engine.close()
+        reduction = report.meta["planner"]["reduction"]
+        assert reduction["merges"] == 4
+        assert reduction["tree_depth"] == 3
+        assert reduction["peak_live_segments"] >= 2
+        assert reduction["merge_seconds"] >= 0.0
+
+
+class TestChunksizeOverheadFloor:
+    def test_chunksize_unchanged_without_profile(self):
+        engine = ExecutionEngine(max_workers=4)
+        assert engine._pool_chunksize(64, None) == 4
+        assert engine._pool_chunksize(64, 0.002) == 4  # no profile active
+
+    def test_chunksize_grows_for_cheap_tasks_under_profile(self):
+        profile = costmodel.MachineProfile(engine={"per_job_overhead": 0.01})
+        engine = ExecutionEngine(max_workers=4)
+        costmodel.set_active_profile(profile)
+        try:
+            # 1 ms tasks vs 10 ms dispatch overhead: chunks must carry ~4x
+            # the overhead of work (40 tasks), capped at num_tasks/workers.
+            assert engine._pool_chunksize(64, 0.001) == 16
+            # Expensive tasks keep the count-based split.
+            assert engine._pool_chunksize(64, 10.0) == 4
+        finally:
+            costmodel.reset_active_profile()

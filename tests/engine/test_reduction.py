@@ -1,0 +1,151 @@
+"""Property and unit tests for the deterministic reduction tree.
+
+The contract under test: a :class:`ReductionTree` fed the same chunk
+segments in *any* completion order produces a Distribution bit-identical to
+the flat ``merge_counted_chunks`` reference — for any segment count and for
+register widths straddling the one-word/two-word boundary (63/64/65 bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstring import PackedOutcomes
+from repro.engine.reduction import (
+    ReductionTree,
+    merge_sorted_segments,
+    tree_merge_segments,
+)
+from repro.exceptions import EngineError, MergeError, NoiseModelError
+from repro.quantum.sampler import merge_counted_chunks
+
+
+def _random_segments(rng: np.random.Generator, num_segments: int, num_bits: int):
+    """Synthetic sharded partial histograms in aggregation order."""
+    segments = []
+    for _ in range(num_segments):
+        rows = int(rng.integers(1, 40))
+        bits = rng.integers(0, 2, size=(rows, num_bits), dtype=np.uint8)
+        packed, counts = PackedOutcomes.aggregate_bit_matrix(bits)
+        segments.append((packed.words, counts))
+    return segments
+
+
+class TestTreeEqualsFlatMerge:
+    @given(
+        num_segments=st.integers(min_value=1, max_value=17),
+        num_bits=st.sampled_from([5, 63, 64, 65]),
+        seed=st.integers(min_value=0, max_value=2**20),
+        order_seed=st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=80, deadline=None, derandomize=True)
+    def test_tree_merge_bit_identical_to_flat_merge(
+        self, num_segments, num_bits, seed, order_seed
+    ):
+        rng = np.random.default_rng(seed)
+        segments = _random_segments(rng, num_segments, num_bits)
+        flat = merge_counted_chunks(segments, num_bits)
+
+        order = np.random.default_rng(order_seed).permutation(num_segments)
+        tree = ReductionTree(num_segments, num_bits)
+        for index in order:
+            tree.add(int(index), *segments[index])
+        assert tree.complete
+        merged = tree.distribution()
+
+        assert merged == flat
+        assert np.array_equal(merged.packed().words, flat.packed().words)
+        # Dict equality is exact float comparison: bit-identity, not isclose.
+        assert merged.probabilities() == flat.probabilities()
+
+    @given(
+        num_segments=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_every_completion_order_gives_identical_bits(self, num_segments, seed):
+        rng = np.random.default_rng(seed)
+        segments = _random_segments(rng, num_segments, 64)
+        reference = tree_merge_segments(segments, 64)
+        for order_seed in range(3):
+            order = np.random.default_rng((seed, order_seed)).permutation(num_segments)
+            tree = ReductionTree(num_segments, 64)
+            for index in order:
+                tree.add(int(index), *segments[index])
+            merged = tree.distribution()
+            assert np.array_equal(merged.packed().words, reference.packed().words)
+            assert merged.probabilities() == reference.probabilities()
+
+
+class TestMergeSortedSegments:
+    def test_disjoint_and_overlapping_supports(self):
+        left = (np.array([[1], [5]], dtype=np.uint64), np.array([2.0, 3.0]))
+        right = (np.array([[0], [5], [9]], dtype=np.uint64), np.array([1.0, 4.0, 6.0]))
+        words, counts = merge_sorted_segments(left, right)
+        assert words[:, 0].tolist() == [0, 1, 5, 9]
+        assert counts.tolist() == [1.0, 2.0, 7.0, 6.0]
+
+    def test_word_count_mismatch_raises(self):
+        left = (np.zeros((1, 1), dtype=np.uint64), np.ones(1))
+        right = (np.zeros((1, 2), dtype=np.uint64), np.ones(1))
+        with pytest.raises(MergeError):
+            merge_sorted_segments(left, right)
+
+
+class TestTreeMechanics:
+    def test_stats_in_order_completion(self):
+        segments = _random_segments(np.random.default_rng(3), 8, 16)
+        tree = ReductionTree(8, 16)
+        for index, (words, counts) in enumerate(segments):
+            tree.add(index, words, counts)
+        stats = tree.stats()
+        assert stats.num_leaves == 8
+        assert stats.depth == 3
+        assert stats.merges == 7
+        # In-order arrival holds at most one live segment per level.
+        assert stats.peak_live_segments <= stats.depth + 1
+
+    def test_non_power_of_two_leaf_counts(self):
+        for count in (1, 3, 5, 6, 7, 11):
+            segments = _random_segments(np.random.default_rng(count), count, 10)
+            merged = tree_merge_segments(segments, 10)
+            flat = merge_counted_chunks(segments, 10)
+            assert np.array_equal(merged.packed().words, flat.packed().words)
+            assert merged.probabilities() == flat.probabilities()
+
+    def test_incomplete_tree_refuses_result(self):
+        tree = ReductionTree(3, 8)
+        with pytest.raises(MergeError, match="incomplete"):
+            tree.result_segment()
+
+    def test_out_of_range_and_duplicate_indices(self):
+        ((words, counts),) = _random_segments(np.random.default_rng(0), 1, 8)
+        tree = ReductionTree(2, 8)
+        with pytest.raises(MergeError):
+            tree.add(2, words, counts)
+        tree.add(0, words, counts)
+        with pytest.raises(MergeError, match="twice"):
+            tree.add(0, words, counts)
+
+    def test_zero_leaves_rejected(self):
+        with pytest.raises(MergeError):
+            ReductionTree(0, 4)
+        with pytest.raises(MergeError):
+            tree_merge_segments([], 4)
+
+
+class TestMergeErrorCompatibility:
+    def test_merge_error_is_engine_and_noise_model_error(self):
+        # The NoiseModelError parentage is the one-release compatibility
+        # shim for historical merge_counted_chunks callers.
+        assert issubclass(MergeError, EngineError)
+        assert issubclass(MergeError, NoiseModelError)
+
+    def test_flat_merge_raises_merge_error_on_empty(self):
+        with pytest.raises(MergeError):
+            merge_counted_chunks([], 4)
+        with pytest.raises(NoiseModelError):
+            merge_counted_chunks([], 4)
