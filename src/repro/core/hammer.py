@@ -43,6 +43,7 @@ import numpy as np
 from repro.core.distribution import Distribution
 from repro.core.kernels import hammer_pass
 from repro.core.profiling import record_phase_seconds
+from repro.obs.trace import trace_span
 from repro.core.weights import InverseChsWeights, WeightScheme, resolve_weight_scheme
 from repro.exceptions import DistributionError
 
@@ -210,9 +211,13 @@ def neighborhood_scores(
             weights = np.pad(weights, (0, num_bits + 1 - len(weights)))
         return weights
 
-    chs, weights, scores, plan = hammer_pass(
-        packed, probabilities, cutoff, weight_fn, cfg.use_filter
-    )
+    with trace_span(
+        "kernel.hammer", support=packed.num_outcomes, width=packed.num_bits
+    ) as span:
+        chs, weights, scores, plan = hammer_pass(
+            packed, probabilities, cutoff, weight_fn, cfg.use_filter
+        )
+        span.set(plan=plan)
     if cfg.include_self_probability:
         scores = scores + probabilities
 

@@ -62,6 +62,10 @@ import numpy as np
 
 from repro.core import costmodel, tuning
 from repro.exceptions import DistributionError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import counter_add
+
+_logger = get_logger("repro.core.kernels")
 
 __all__ = [
     "popcount_u64",
@@ -225,6 +229,15 @@ def _gpu_plan_or_fallback() -> str:
         return "gpu"
     if not _GPU_STATE["warned"]:
         _GPU_STATE["warned"] = True
+        # Structured record (reaches headless-run artifacts via repro.obs)
+        # plus the historical RuntimeWarning for interactive stderr.
+        _logger.warn_once(
+            "gpu-fallback",
+            "kernel plan 'gpu' requested but CuPy/CUDA is unavailable; "
+            "falling back to the bit-identical 'tiled' plan",
+            requested="gpu",
+            plan="tiled",
+        )
         warnings.warn(
             "kernel plan 'gpu' requested but CuPy/CUDA is unavailable; "
             "falling back to the bit-identical 'tiled' plan",
@@ -489,9 +502,11 @@ def choose_plan(num_outcomes: int, num_bits: int) -> str:
     override = tuning.kernel_override()
     if override is not None:
         costmodel.record_decision("kernel", override, "override")
+        counter_add(f"kernel.plan.{override}")
         return override
     if num_outcomes <= DENSE_SUPPORT_MAX:
         costmodel.record_decision("kernel", "dense", "heuristic")
+        counter_add("kernel.plan.dense")
         return "dense"
     profile = costmodel.active_profile()
     if profile is not None:
@@ -500,12 +515,14 @@ def choose_plan(num_outcomes: int, num_bits: int) -> str:
             plan = None
         if plan is not None:
             costmodel.record_decision("kernel", plan, "profile")
+            counter_add(f"kernel.plan.{plan}")
             return plan
     if gpu_available():
         plan = "gpu"
     else:
         plan = "streaming" if (num_bits + 63) // 64 >= STREAMING_MIN_WORDS else "tiled"
     costmodel.record_decision("kernel", plan, "heuristic")
+    counter_add(f"kernel.plan.{plan}")
     return plan
 
 

@@ -34,8 +34,13 @@ from pathlib import Path
 from typing import Any
 
 from repro.exceptions import EngineError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import counter_add
+from repro.obs.trace import trace_span
 
 __all__ = ["ExecutionCache"]
+
+_logger = get_logger("repro.engine.cache")
 
 _NAMESPACES = ("transpile", "ideal", "sample")
 
@@ -82,31 +87,38 @@ class ExecutionCache:
     def get(self, namespace: str, key: str) -> Any | None:
         """Fetch an artifact, checking memory first and then the disk tier."""
         self._check_namespace(namespace)
-        entry = self._memory.get((namespace, key))
-        if entry is not None:
-            self._memory.move_to_end((namespace, key))
-            self.hits[namespace] += 1
-            return entry
-        if self.cache_dir is not None:
-            path = self._path(namespace, key)
-            if path.exists():
-                try:
-                    with path.open("rb") as handle:
-                        entry = pickle.load(handle)
-                except Exception:
-                    # A stale/corrupt entry (package upgrade, truncated
-                    # write, old schema) must degrade to a miss, not crash
-                    # the sweep: drop the file so the recompute self-heals.
+        with trace_span("cache.get", namespace=namespace) as span:
+            entry = self._memory.get((namespace, key))
+            if entry is not None:
+                self._memory.move_to_end((namespace, key))
+                self.hits[namespace] += 1
+                counter_add(f"cache.{namespace}.hits")
+                span.set(hit=True, tier="memory")
+                return entry
+            if self.cache_dir is not None:
+                path = self._path(namespace, key)
+                if path.exists():
                     try:
-                        path.unlink()
-                    except OSError:
-                        pass
-                else:
-                    self._remember(namespace, key, entry)
-                    self.hits[namespace] += 1
-                    return entry
-        self.misses[namespace] += 1
-        return None
+                        with path.open("rb") as handle:
+                            entry = pickle.load(handle)
+                    except Exception:
+                        # A stale/corrupt entry (package upgrade, truncated
+                        # write, old schema) must degrade to a miss, not crash
+                        # the sweep: drop the file so the recompute self-heals.
+                        try:
+                            path.unlink()
+                        except OSError:
+                            pass
+                    else:
+                        self._remember(namespace, key, entry)
+                        self.hits[namespace] += 1
+                        counter_add(f"cache.{namespace}.hits")
+                        span.set(hit=True, tier="disk")
+                        return entry
+            self.misses[namespace] += 1
+            counter_add(f"cache.{namespace}.misses")
+            span.set(hit=False)
+            return None
 
     def put(self, namespace: str, key: str, value: Any) -> None:
         """Store an artifact in memory and (when configured) on disk.
@@ -138,6 +150,16 @@ class ExecutionCache:
                         pass
                     raise
             except (OSError, pickle.PicklingError) as error:
+                # Structured record first (lands in run artifacts), then the
+                # historical warning for interactive stderr visibility.
+                _logger.warning(
+                    "cache-persist-failed",
+                    "execution cache could not persist an artifact; continuing memory-only",
+                    namespace=namespace,
+                    key=key[:16],
+                    cache_dir=str(self.cache_dir),
+                    error=str(error),
+                )
                 warnings.warn(
                     f"execution cache could not persist {namespace}/{key[:16]}… "
                     f"to {self.cache_dir}: {error}; continuing memory-only",

@@ -57,6 +57,7 @@ import weakref
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any
 
 import numpy as np
@@ -65,6 +66,9 @@ from repro.backends import get_backend, resolve_backend
 from repro.core import costmodel
 from repro.core.distribution import Distribution
 from repro.core.profiling import record_phase_seconds
+from repro.obs.metrics import counter_add, gauge_max
+from repro.obs.observe import absorb_payload, observation_active, observed_call
+from repro.obs.trace import record_span, trace_span
 from repro.engine.cache import ExecutionCache
 from repro.engine.executors import (
     ENV_SHARD_EXECUTOR,
@@ -219,9 +223,11 @@ class EngineRunStats:
 # ---------------------------------------------------------------------------
 def _transpile_task(task: tuple) -> tuple[str, _TranspileArtifact, float]:
     key, circuit, coupling_map, basis_gates = task
-    start = time.perf_counter()
-    transpiled = transpile(circuit, coupling_map=coupling_map, basis_gates=basis_gates)
-    seconds = time.perf_counter() - start
+    counter_add("engine.transpiles_computed")
+    with trace_span("engine.task.transpile", qubits=circuit.num_qubits):
+        start = time.perf_counter()
+        transpiled = transpile(circuit, coupling_map=coupling_map, basis_gates=basis_gates)
+        seconds = time.perf_counter() - start
     artifact = _TranspileArtifact(
         circuit=transpiled.circuit,
         permutation=tuple(transpiled.measurement_permutation()),
@@ -233,9 +239,11 @@ def _transpile_task(task: tuple) -> tuple[str, _TranspileArtifact, float]:
 def _ideal_task(task: tuple) -> tuple[str, Distribution, float]:
     key, circuit, backend_name = task
     backend = get_backend(backend_name)
-    start = time.perf_counter()
-    ideal = backend.ideal_distribution(circuit)
-    return key, ideal, time.perf_counter() - start
+    counter_add("engine.ideals_computed")
+    with trace_span("engine.task.ideal", backend=backend_name, qubits=circuit.num_qubits):
+        start = time.perf_counter()
+        ideal = backend.ideal_distribution(circuit)
+        return key, ideal, time.perf_counter() - start
 
 
 def _sample_group_task(task: tuple) -> list[tuple[int, Distribution, float]]:
@@ -247,14 +255,19 @@ def _sample_group_task(task: tuple) -> list[tuple[int, Distribution, float]]:
     attributed to jobs proportionally to their shot counts.
     """
     circuit, ideal, noise_model, requests = task
-    start = time.perf_counter()
-    generators = [
-        (shots, np.random.default_rng(np.random.SeedSequence(entropy)))
-        for _, shots, entropy in requests
-    ]
-    distributions = sample_bitflip_batch(circuit, noise_model, generators, ideal=ideal)
-    elapsed = time.perf_counter() - start
     total_shots = sum(shots for _, shots, _ in requests)
+    # Counters count *work units* (jobs, shots) — never group slices, which
+    # vary with worker count — so merged totals match a serial run exactly.
+    counter_add("sampler.jobs", len(requests))
+    counter_add("sampler.shots", total_shots)
+    with trace_span("engine.task.sample_group", jobs=len(requests), shots=total_shots):
+        start = time.perf_counter()
+        generators = [
+            (shots, np.random.default_rng(np.random.SeedSequence(entropy)))
+            for _, shots, entropy in requests
+        ]
+        distributions = sample_bitflip_batch(circuit, noise_model, generators, ideal=ideal)
+        elapsed = time.perf_counter() - start
     return [
         (index, noisy, elapsed * shots / total_shots)
         for (index, shots, _), noisy in zip(requests, distributions)
@@ -264,18 +277,23 @@ def _sample_group_task(task: tuple) -> list[tuple[int, Distribution, float]]:
 def _sample_shard_task(task: tuple) -> tuple[int, int, np.ndarray, np.ndarray, float]:
     """Draw one fixed-size shot chunk of a sharded job as (words, counts)."""
     index, chunk, circuit, ideal, noise_model, chunk_shots, entropy = task
-    rng = np.random.default_rng(np.random.SeedSequence(entropy))
-    start = time.perf_counter()
-    words, counts = sample_bitflip_chunk(circuit, noise_model, chunk_shots, rng, ideal=ideal)
-    return index, chunk, words, counts, time.perf_counter() - start
+    counter_add("sampler.chunks")
+    counter_add("sampler.chunk_shots", chunk_shots)
+    with trace_span("executor.shard", job=index, chunk=chunk, shots=chunk_shots):
+        rng = np.random.default_rng(np.random.SeedSequence(entropy))
+        start = time.perf_counter()
+        words, counts = sample_bitflip_chunk(circuit, noise_model, chunk_shots, rng, ideal=ideal)
+        return index, chunk, words, counts, time.perf_counter() - start
 
 
 def _sample_trajectory_task(task: tuple) -> tuple[int, Distribution, float]:
     index, circuit, noise_model, shots, entropy = task
-    rng = np.random.default_rng(np.random.SeedSequence(entropy))
-    start = time.perf_counter()
-    noisy = sample_trajectory_distribution(circuit, noise_model, shots, rng=rng)
-    return index, noisy, time.perf_counter() - start
+    counter_add("sampler.trajectory_jobs")
+    with trace_span("engine.task.trajectory", job=index, shots=shots):
+        rng = np.random.default_rng(np.random.SeedSequence(entropy))
+        start = time.perf_counter()
+        noisy = sample_trajectory_distribution(circuit, noise_model, shots, rng=rng)
+        return index, noisy, time.perf_counter() - start
 
 
 def _timed_call(task: tuple) -> tuple[Any, float]:
@@ -432,6 +450,16 @@ class ExecutionEngine:
         if pool is None or len(tasks) <= 1:
             return [fn(task) for task in tasks]
         chunksize = self._pool_chunksize(len(tasks), est_task_seconds)
+        if observation_active():
+            # Workers start unobserved; wrap each task in a task-scoped
+            # observation and fold its payload (metrics/spans/logs) back in.
+            results = []
+            for result, payload in pool.map(
+                partial(observed_call, fn), tasks, chunksize=chunksize
+            ):
+                absorb_payload(payload)
+                results.append(result)
+            return results
         return list(pool.map(fn, tasks, chunksize=chunksize))
 
     def _pool_chunksize(self, num_tasks: int, est_task_seconds: float | None) -> int:
@@ -547,7 +575,16 @@ class ExecutionEngine:
         pool = self._get_pool() if len(jobs) > 1 else None
         if pool is not None:
             pool = self._plan_workers(jobs, stats, pool)
-        return self._run_phases(jobs, seed, stats, pool, wall_start)
+        counter_add("engine.runs")
+        counter_add("engine.jobs", len(jobs))
+        results = self._run_phases(jobs, seed, stats, pool, wall_start)
+        record_span(
+            "engine.run",
+            stats.wall_seconds,
+            num_jobs=stats.num_jobs,
+            max_workers=self.max_workers,
+        )
+        return results
 
     # ------------------------------------------------------------------
     # Cost-model planning (override > tuned profile > built-in heuristic)
@@ -833,10 +870,19 @@ class ExecutionEngine:
                 for index, count in shard_chunk_counts.items()
             }
             chunk_seconds: dict[int, float] = {}
+            # In-process executors record straight into the live observation;
+            # cross-process ones need the task wrapped so each chunk ships a
+            # payload back alongside its (words, counts) result.
+            observed = observation_active() and not executor.in_process
+            shard_fn = (
+                partial(observed_call, _sample_shard_task) if observed else _sample_shard_task
+            )
             try:
-                for index, chunk, words, counts, elapsed in executor.run(
-                    _sample_shard_task, shard_tasks
-                ):
+                for item in executor.run(shard_fn, shard_tasks):
+                    if observed:
+                        item, payload = item
+                        absorb_payload(payload)
+                    index, chunk, words, counts, elapsed = item
                     chunk_seconds[index] = chunk_seconds.get(index, 0.0) + elapsed
                     tree = trees[index]
                     tree.add(chunk, words, counts)
@@ -854,6 +900,11 @@ class ExecutionEngine:
                             tree_stats.peak_live_segments,
                         )
                         stats.merge_seconds += tree_stats.merge_seconds
+                        gauge_max("reduction.tree_depth", tree_stats.depth)
+                        gauge_max(
+                            "reduction.peak_live_segments",
+                            tree_stats.peak_live_segments,
+                        )
                         del trees[index]
             finally:
                 executor.close()

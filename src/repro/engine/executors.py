@@ -45,6 +45,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any
 
 from repro.exceptions import EngineError
+from repro.obs.metrics import gauge_max
 
 __all__ = [
     "ShardExecutor",
@@ -69,6 +70,12 @@ class ShardExecutor(ABC):
 
     #: Short name recorded in planner provenance.
     name: str = "abstract"
+
+    #: Whether ``fn`` runs in the caller's process.  In-process executors
+    #: record spans/metrics straight into the live observation; the engine
+    #: wraps tasks for out-of-process ones so each chunk ships its
+    #: observability payload back with its result.
+    in_process: bool = True
 
     @abstractmethod
     def run(self, fn: Callable, tasks: Sequence) -> Iterator[Any]:
@@ -109,6 +116,7 @@ class ProcessPoolShardExecutor(ShardExecutor):
     """
 
     name = "process-pool"
+    in_process = False
 
     def __init__(self, pool: ProcessPoolExecutor, max_in_flight: int | None = None) -> None:
         if pool is None:
@@ -132,6 +140,7 @@ class ProcessPoolShardExecutor(ShardExecutor):
                     exhausted = True
                     break
                 pending.add(self._pool.submit(fn, task))
+            gauge_max("executor.chunks_in_flight", len(pending))
             if not pending:
                 return
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -156,6 +165,9 @@ class HostShardExecutor(ShardExecutor):
     """
 
     name = "host"
+    #: Hosts are a serialization boundary by design; a subclass whose
+    #: "hosts" are really this process (loopback) flips this back.
+    in_process = False
 
     def __init__(self, hosts: Sequence[str]) -> None:
         if not hosts:
@@ -193,6 +205,7 @@ class LoopbackHostExecutor(HostShardExecutor):
     """
 
     name = "loopback"
+    in_process = True
 
     def __init__(self, hosts: Sequence[str] = ("loop-0", "loop-1")) -> None:
         super().__init__(hosts)

@@ -47,6 +47,8 @@ import numpy as np
 from repro.core.bitstring import PackedOutcomes
 from repro.core.distribution import Distribution
 from repro.exceptions import MergeError
+from repro.obs.metrics import counter_add
+from repro.obs.trace import trace_span
 
 __all__ = [
     "ReductionTree",
@@ -201,12 +203,16 @@ class ReductionTree:
             if sibling is None:
                 self._pending[(level, pos)] = value
                 return
-            start = time.perf_counter()
-            if pos & 1:
-                value = merge_sorted_segments(sibling, value)
-            else:
-                value = merge_sorted_segments(value, sibling)
-            self._merge_seconds += time.perf_counter() - start
+            # Merge count is fixed by the tree shape (num_leaves - 1), so
+            # the counter is deterministic for any placement or worker count.
+            counter_add("reduction.merges")
+            with trace_span("reduction.merge", level=level + 1, pos=pos >> 1):
+                start = time.perf_counter()
+                if pos & 1:
+                    value = merge_sorted_segments(sibling, value)
+                else:
+                    value = merge_sorted_segments(value, sibling)
+                self._merge_seconds += time.perf_counter() - start
             self._merges += 1
             level, pos = level + 1, pos >> 1
 

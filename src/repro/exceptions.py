@@ -48,15 +48,14 @@ class EngineError(ReproError):
     """Raised when an execution-engine job batch or cache is misconfigured."""
 
 
-class MergeError(EngineError, NoiseModelError):
+class MergeError(EngineError):
     """Raised when sharded partial histograms cannot be merged.
 
     Merging shot-shard segments is an engine concern (the reduction tree in
     :mod:`repro.engine.reduction`), so this derives from :class:`EngineError`.
-    It *also* derives from :class:`NoiseModelError` for one release:
-    ``merge_counted_chunks`` historically raised ``NoiseModelError``, and
-    callers catching that must keep working until they migrate.  The
-    ``NoiseModelError`` parentage is deprecated and will be dropped.
+    (A deprecated ``NoiseModelError`` parentage — compatibility for
+    historical ``merge_counted_chunks`` callers — was kept for one release
+    and has been dropped; catch :class:`MergeError` or :class:`EngineError`.)
     """
 
 
@@ -73,6 +72,14 @@ class CostModelError(ReproError):
 
     Examples include corrupt profile JSON, unknown cost terms, and profiles
     written by an incompatible schema version.
+    """
+
+
+class ObservabilityError(ReproError):
+    """Raised when the tracing/metrics layer is misused or misconfigured.
+
+    Examples include activating a second observation while one is already
+    active and merging a malformed worker metrics payload.
     """
 
 

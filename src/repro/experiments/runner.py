@@ -209,8 +209,14 @@ def attach_engine_meta(report: ExperimentReport, engine, trace=None) -> Experime
     machine-profile fingerprint (``"heuristic"`` when untuned), the engine's
     shard/worker decisions, and the process-global kernel/backend decision
     counters — so every JSON artifact shows which dispatch path produced it.
+
+    When an :class:`~repro.obs.observe.Observation` is active, an ``obs``
+    block (metrics snapshot, span summary, structured log records) rides
+    along too, so traced/metered runs are diagnosable from the artifact
+    alone.
     """
     from repro.core import costmodel
+    from repro.obs.observe import current_observation
 
     stats = getattr(engine, "lifetime_stats", None)
     if stats is not None and stats.num_jobs > 0:
@@ -232,6 +238,9 @@ def attach_engine_meta(report: ExperimentReport, engine, trace=None) -> Experime
                 "merge_seconds": stats.merge_seconds,
             },
         }
+    observation = current_observation()
+    if observation is not None:
+        report.meta["obs"] = observation.meta()
     if trace is not None:
         report.meta["jobs"] = [result.as_trace_row() for result in trace]
     return report

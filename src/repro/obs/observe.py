@@ -1,0 +1,167 @@
+"""Activating observation, and carrying it across process boundaries.
+
+:class:`Observation` is the front door of the layer: a context manager
+that installs a fresh :class:`~repro.obs.trace.TraceRecorder` and
+:class:`~repro.obs.metrics.MetricsRegistry` as the process globals for the
+enclosed run, then restores the previous state (normally ``None``, i.e.
+disabled) on exit::
+
+    with Observation() as obs:
+        report = run_bv_study(config, engine=engine)
+    obs.chrome_trace()   # Chrome trace-event JSON object
+    obs.meta()           # the ``report.meta["obs"]`` block
+
+Observations do not nest — a second activation raises
+:class:`~repro.exceptions.ObservabilityError` — which keeps attribution
+unambiguous, mirroring the phase collector.
+
+**Worker processes.**  A ``ProcessPoolExecutor`` worker starts with
+observation disabled (the globals do not pickle across ``fork``/``spawn``
+usefully, and a long-lived worker serves many tasks).  The engine instead
+wraps each task function with :func:`observed_call` via
+``functools.partial`` — picklable because both the wrapper and the task
+function are module-level.  The wrapper activates a *task-scoped*
+recorder+registry around the call, then ships ``(result, payload)`` back;
+the parent folds the payload in with :func:`absorb_payload`.  Because
+counters count work units and merge by addition, the folded metrics are
+deterministic for any task→worker placement and completion order.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ObservabilityError
+from repro.obs import logs as _logs
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import DEFAULT_MAX_EVENTS, TraceRecorder
+
+__all__ = [
+    "Observation",
+    "observation_active",
+    "current_observation",
+    "observed_call",
+    "absorb_payload",
+]
+
+#: The process-global active observation (parent-process use only).
+_active: "Observation | None" = None
+
+
+def observation_active() -> bool:
+    """True when an :class:`Observation` is active in this process."""
+    return _active is not None
+
+
+def current_observation() -> "Observation | None":
+    """The active observation, or ``None``."""
+    return _active
+
+
+class Observation:
+    """One observed run: an active trace recorder plus metrics registry."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.recorder = TraceRecorder(max_events=max_events)
+        self.registry = MetricsRegistry()
+        self._log_start = 0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Observation":
+        global _active
+        if _active is not None:
+            raise ObservabilityError("an observation is already active")
+        _active = self
+        self._log_start = _logs.current_sequence()
+        _trace._set_active(self.recorder)
+        _metrics._set_active(self.registry)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _active
+        _trace._set_active(None)
+        _metrics._set_active(None)
+        _active = None
+
+    # ------------------------------------------------------------------
+    def absorb_payload(self, payload: dict | None) -> None:
+        """Fold one worker task's exported payload into this observation."""
+        if payload is None:
+            return
+        if not isinstance(payload, dict):
+            raise ObservabilityError(
+                f"worker observability payload must be a dict, got {type(payload).__name__}"
+            )
+        metrics = payload.get("metrics")
+        if metrics is not None:
+            self.registry.merge_snapshot(metrics)
+        events = payload.get("events")
+        if events:
+            self.recorder.absorb(events)
+        records = payload.get("logs")
+        if records:
+            _logs.absorb_records(records)
+
+    def chrome_trace(self) -> dict:
+        """The buffered spans as a Chrome trace-event JSON object."""
+        return self.recorder.chrome_trace()
+
+    def log_records(self) -> list[dict]:
+        """Structured log records emitted (or absorbed) during the run."""
+        return _logs.records_since(self._log_start)
+
+    def meta(self) -> dict:
+        """The ``report.meta["obs"]`` block: metrics + span/log summaries.
+
+        The metrics snapshot's ``counters`` section is the deterministic
+        part — a ``--jobs 4`` run's merged counters equal a serial run's.
+        """
+        return {
+            "metrics": self.registry.snapshot(),
+            "spans": {
+                "events": self.recorder.num_events,
+                "dropped": self.recorder.dropped,
+                "names": sorted(self.recorder.span_names()),
+            },
+            "log": [
+                {key: record[key] for key in ("level", "logger", "event", "message", "fields")}
+                for record in self.log_records()
+            ],
+        }
+
+
+def observed_call(fn, task):
+    """Run ``fn(task)`` inside a task-scoped observation (worker side).
+
+    Module-level so ``functools.partial(observed_call, fn)`` pickles into
+    pool workers.  Saves whatever observation state the process had,
+    installs fresh task-scoped globals, and restores the saved state after
+    the call — so an *in-process* "worker" (serial fallback paths) cannot
+    clobber the parent's live observation.  Returns ``(result, payload)``
+    where payload carries the task's metrics snapshot, span events (with
+    absolute wall-clock timestamps and this process's pid) and any
+    structured log records it produced.
+    """
+    recorder = TraceRecorder()
+    registry = MetricsRegistry()
+    log_start = _logs.current_sequence()
+    saved_recorder = _trace._set_active(recorder)
+    saved_registry = _metrics._set_active(registry)
+    try:
+        result = fn(task)
+    finally:
+        _trace._set_active(saved_recorder)
+        _metrics._set_active(saved_registry)
+    payload = {
+        "metrics": registry.snapshot(),
+        "events": recorder.events(),
+        "logs": _logs.records_since(log_start),
+    }
+    return result, payload
+
+
+def absorb_payload(payload: dict | None) -> None:
+    """Fold a worker payload into the active observation (no-op if none)."""
+    observation = _active
+    if observation is not None:
+        observation.absorb_payload(payload)

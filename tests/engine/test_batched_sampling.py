@@ -16,7 +16,7 @@ from repro.backends import get_backend
 from repro.circuits.bv import bernstein_vazirani
 from repro.engine import CircuitJob, ExecutionEngine
 from repro.engine.hashing import sample_key
-from repro.exceptions import EngineError, NoiseModelError
+from repro.exceptions import EngineError, MergeError
 from repro.quantum.device import get_device
 from repro.quantum.sampler import (
     merge_counted_chunks,
@@ -159,7 +159,7 @@ class TestShardedSampling:
         assert merged.counts() == reversed_merge.counts()
 
     def test_merge_rejects_empty(self):
-        with pytest.raises(NoiseModelError):
+        with pytest.raises(MergeError):
             merge_counted_chunks([], 4)
 
     def test_trajectory_jobs_are_never_sharded(self, device):

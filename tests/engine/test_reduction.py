@@ -138,14 +138,12 @@ class TestTreeMechanics:
 
 
 class TestMergeErrorCompatibility:
-    def test_merge_error_is_engine_and_noise_model_error(self):
-        # The NoiseModelError parentage is the one-release compatibility
-        # shim for historical merge_counted_chunks callers.
+    def test_merge_error_is_engine_error_only(self):
+        # The one-release NoiseModelError compatibility shim is gone:
+        # MergeError is a plain EngineError now.
         assert issubclass(MergeError, EngineError)
-        assert issubclass(MergeError, NoiseModelError)
+        assert not issubclass(MergeError, NoiseModelError)
 
     def test_flat_merge_raises_merge_error_on_empty(self):
         with pytest.raises(MergeError):
-            merge_counted_chunks([], 4)
-        with pytest.raises(NoiseModelError):
             merge_counted_chunks([], 4)

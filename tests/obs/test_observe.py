@@ -1,0 +1,105 @@
+"""Observation contexts and the worker payload round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import (
+    Observation,
+    absorb_payload,
+    counter_add,
+    current_observation,
+    metrics_active,
+    observation_active,
+    observed_call,
+    trace_span,
+    tracing_active,
+)
+from repro.obs.logs import reset_logs
+
+
+@pytest.fixture(autouse=True)
+def clean_logs():
+    reset_logs()
+    yield
+    reset_logs()
+
+
+def _fake_task(task):
+    """Stand-in worker task: records one counter and one span, returns doubled."""
+    counter_add("sampler.chunks")
+    with trace_span("executor.shard", chunk=task):
+        pass
+    return task * 2
+
+
+class TestObservation:
+    def test_enter_installs_and_exit_restores_globals(self):
+        assert not observation_active()
+        with Observation() as observation:
+            assert observation_active()
+            assert current_observation() is observation
+            assert tracing_active() and metrics_active()
+        assert not observation_active()
+        assert not tracing_active() and not metrics_active()
+
+    def test_observations_do_not_nest(self):
+        with Observation():
+            with pytest.raises(ObservabilityError, match="already active"):
+                with Observation():
+                    pass
+
+    def test_exit_restores_disabled_state_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with Observation():
+                raise RuntimeError("boom")
+        assert not observation_active() and not tracing_active()
+
+    def test_meta_shape(self):
+        with Observation() as observation:
+            counter_add("engine.runs")
+            with trace_span("engine.run"):
+                pass
+        meta = observation.meta()
+        assert meta["metrics"]["counters"] == {"engine.runs": 1}
+        assert meta["spans"]["events"] == 1
+        assert meta["spans"]["dropped"] == 0
+        assert meta["spans"]["names"] == ["engine.run"]
+        assert meta["log"] == []
+
+
+class TestObservedCall:
+    def test_returns_result_and_payload(self):
+        result, payload = observed_call(_fake_task, 21)
+        assert result == 42
+        assert payload["metrics"]["counters"] == {"sampler.chunks": 1}
+        assert [event["name"] for event in payload["events"]] == ["executor.shard"]
+        assert payload["logs"] == []
+
+    def test_restores_parent_observation(self):
+        """An in-process 'worker' call must not clobber a live parent observation."""
+        with Observation() as observation:
+            counter_add("engine.runs")
+            result, payload = observed_call(_fake_task, 1)
+            # Task-scoped state went to the payload, not the parent...
+            assert observation.registry.counters == {"engine.runs": 1}
+            # ...and the parent registry is active again afterwards.
+            counter_add("engine.runs")
+            assert observation.registry.counters == {"engine.runs": 2}
+        assert payload["metrics"]["counters"] == {"sampler.chunks": 1}
+
+    def test_payload_folds_into_parent(self):
+        with Observation() as observation:
+            result, payload = observed_call(_fake_task, 3)
+            absorb_payload(payload)
+        assert observation.registry.counters == {"sampler.chunks": 1}
+        assert observation.recorder.span_names() == {"executor.shard"}
+
+    def test_absorb_payload_without_observation_is_noop(self):
+        absorb_payload({"metrics": {"counters": {"x": 1}}})  # no crash, nothing active
+
+    def test_absorb_rejects_malformed_payload(self):
+        with Observation() as observation:
+            with pytest.raises(ObservabilityError, match="payload"):
+                observation.absorb_payload("not-a-dict")

@@ -158,7 +158,7 @@ class TestProfileSubcommand:
     def test_stray_positional_rejected_without_profile(self, capsys):
         with pytest.raises(SystemExit):
             main(["fig8a", "fig8"])
-        assert "only the 'profile' subcommand" in capsys.readouterr().err
+        assert "only the 'profile' and 'trace' subcommands" in capsys.readouterr().err
 
     def test_profile_backend_flag_applies_to_target(self, capsys):
         # --backend is validated against the profiled experiment, not
@@ -166,6 +166,85 @@ class TestProfileSubcommand:
         with pytest.raises(SystemExit):
             main(["profile", "fig8a", "--backend", "stabilizer"])
         assert "--backend/--scenario only apply" in capsys.readouterr().err
+
+    def test_profile_metrics_appends_table_and_meta(self, capsys):
+        assert main(["profile", "fig8a", "--metrics"]) == 0
+        output = capsys.readouterr().out
+        assert "== metrics ==" in output
+        assert "sampler.shots" in output
+        assert "counter" in output
+
+    def test_profile_metrics_json_carries_obs_block(self, capsys):
+        assert main(["profile", "fig8a", "--metrics", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        counters = payload["meta"]["obs"]["metrics"]["counters"]
+        assert counters["engine.runs"] >= 1
+        assert counters["sampler.shots"] > 0
+
+    def test_metrics_flag_rejected_outside_profile(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig8a", "--metrics"])
+        assert "--metrics only applies" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_trace_writes_chrome_json_and_reports(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["trace", "fig8a", "--trace-out", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert "wrote Chrome trace" in output
+        trace = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert trace["otherData"]["producer"] == "repro.obs"
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert complete, "traced run produced no spans"
+        names = {event["name"] for event in complete}
+        assert {"engine.run", "phase.sample", "kernel.hammer", "cache.get"} <= names
+        for event in complete:
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+
+    def test_trace_json_report_carries_obs_and_trace_meta(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        assert main(
+            ["trace", "fig8a", "--trace-out", str(trace_path), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["trace"]["path"] == str(trace_path)
+        assert payload["meta"]["trace"]["events"] > 0
+        assert payload["meta"]["trace"]["dropped"] == 0
+        assert payload["meta"]["obs"]["metrics"]["counters"]["engine.runs"] >= 1
+
+    def test_traced_rows_match_untraced_rows(self, tmp_path, capsys):
+        assert main(["fig8a", "--format", "json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        trace_path = tmp_path / "t.json"
+        assert main(
+            ["trace", "fig8a", "--trace-out", str(trace_path), "--format", "json"]
+        ) == 0
+        traced = json.loads(capsys.readouterr().out)
+        assert traced["rows"] == plain["rows"]
+        assert traced["summary"] == plain["summary"]
+
+    def test_trace_requires_a_target(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+        assert "requires an experiment id" in capsys.readouterr().err
+
+    def test_trace_rejects_engineless_experiments(self):
+        with pytest.raises(SystemExit, match="does not support"):
+            main(["trace", "fig5"])
+
+    def test_trace_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["trace", "figure-999"])
+
+    def test_trace_out_flag_rejected_outside_trace(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig8a", "--trace-out", "t.json"])
+        assert "--trace-out only applies" in capsys.readouterr().err
+
+    def test_list_mentions_trace(self, capsys):
+        assert main(["list"]) == 0
+        assert "trace <experiment>" in capsys.readouterr().out
 
 
 class TestExperimentSmoke:
