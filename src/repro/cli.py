@@ -19,6 +19,7 @@ Usage::
     python -m repro.cli trace fig8 --trace-out trace.json   # Chrome trace export
     python -m repro.cli tune --quick              # calibrate the cost model
     python -m repro.cli fig8 --profile machine_profile.json
+    python -m repro.cli shard-worker --listen 127.0.0.1:7641   # serve shard chunks
 
 Every experiment runs its sweep through one shared
 :class:`~repro.engine.engine.ExecutionEngine`: ``--jobs`` fans the batch out
@@ -39,6 +40,15 @@ trace-event JSON (``--trace-out``, default ``trace.json``), loadable in
 with ``meta["obs"]`` metrics.  ``profile --metrics`` runs the phase
 profiler with the metrics registry active and appends the counter / gauge
 / histogram table.
+
+``shard-worker`` turns this process into a multi-node shard host: it
+listens on ``--listen HOST:PORT`` and serves chunk tasks to engines whose
+``REPRO_SHARD_EXECUTOR=socket`` / ``REPRO_SHARD_HOSTS`` point at it (see
+:mod:`repro.engine.transport`; README "Scale-out & reduction trees" has the
+quickstart).  ``--max-requests`` and ``--delay`` make failure scenarios
+reproducible: a worker that dies after N chunks, or one that is
+deterministically slow.  The protocol is pickle over TCP — only run
+workers on networks where every peer is trusted.
 
 ``tune`` runs the one-time cost-model microbenchmarks
 (:mod:`repro.engine.autotune`) and persists the fitted
@@ -104,6 +114,7 @@ __all__ = [
     "devices_report",
     "scenarios_report",
     "backends_report",
+    "shard_worker_serve",
     "EXPERIMENTS",
     "SUBCOMMANDS",
     "PROFILE_UNSUPPORTED_EXPERIMENTS",
@@ -312,6 +323,16 @@ def build_parser() -> argparse.ArgumentParser:
                         dest="trace_out",
                         help="trace only: where to write the Chrome trace-event JSON "
                              "(default trace.json)")
+    parser.add_argument("--listen", type=str, default=None, metavar="HOST:PORT",
+                        help="shard-worker only: address to serve chunk tasks on "
+                             "(port 0 binds an ephemeral port, printed on startup)")
+    parser.add_argument("--max-requests", type=_positive_int, default=None, metavar="N",
+                        dest="max_requests",
+                        help="shard-worker only: exit after serving N chunk requests "
+                             "(deterministic mid-run host failure, for testing)")
+    parser.add_argument("--delay", type=float, default=0.0, metavar="SECONDS",
+                        help="shard-worker only: sleep before answering each chunk "
+                             "request (deterministic slow host, for testing)")
     parser.add_argument("--format", choices=("text", "json"), default="text", dest="format",
                         help="output format: human-readable table or JSON artifact")
     parser.add_argument("--out", type=str, default=None, metavar="PATH",
@@ -562,6 +583,35 @@ def tune_report(args: argparse.Namespace) -> ExperimentReport:
     return report
 
 
+def shard_worker_serve(args: argparse.Namespace) -> int:
+    """Serve shard chunk tasks until interrupted (``shard-worker`` subcommand).
+
+    Prints ``shard-worker listening on HOST:PORT`` (the *bound* address, so
+    ``--listen 127.0.0.1:0`` reports the ephemeral port a client should put
+    in ``REPRO_SHARD_HOSTS``) and blocks in the accept loop.  Exits 0 when
+    stopped — by Ctrl-C, a client ``shutdown`` request, or an exhausted
+    ``--max-requests`` budget.
+    """
+    from repro.engine.transport import ShardWorker, parse_hostport
+
+    host, port = parse_hostport(args.listen)
+    worker = ShardWorker(
+        host=host,
+        port=port,
+        max_requests=getattr(args, "max_requests", None),
+        delay=getattr(args, "delay", 0.0) or 0.0,
+    )
+    print(f"shard-worker listening on {worker.address}", flush=True)
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        worker.stop()
+    print(f"shard-worker stopped after {worker.requests_served} requests", flush=True)
+    return 0
+
+
 #: Informational subcommands: no engine, no sweep — just a registry table.
 SUBCOMMANDS = {
     "devices": ("Built-in device profiles (uniform noise medians)", devices_report),
@@ -598,6 +648,17 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--metrics only applies to the 'profile' subcommand")
     if args.trace_out is not None and args.experiment != "trace":
         parser.error("--trace-out only applies to the 'trace' subcommand")
+    if args.experiment == "shard-worker" and args.listen is None:
+        parser.error(
+            "shard-worker requires --listen HOST:PORT (port 0 binds an ephemeral port)"
+        )
+    if args.experiment != "shard-worker":
+        if args.listen is not None:
+            parser.error("--listen only applies to the 'shard-worker' subcommand")
+        if args.max_requests is not None:
+            parser.error("--max-requests only applies to the 'shard-worker' subcommand")
+        if args.delay:
+            parser.error("--delay only applies to the 'shard-worker' subcommand")
     if args.profile is not None:
         # Exported (not just loaded) so worker processes inherit the same
         # profile: the pool re-imports repro and reads REPRO_TUNE_PROFILE.
@@ -626,8 +687,16 @@ def main(argv: list[str] | None = None) -> int:
                 "description": "Calibrate the cost-model profile (one-time microbenchmarks)",
             }
         )
+        rows.append(
+            {
+                "id": "shard-worker --listen HOST:PORT",
+                "description": "Serve shard chunk tasks to socket-executor engines (multi-node)",
+            }
+        )
         print(format_table(rows))
         return 0
+    if args.experiment == "shard-worker":
+        return shard_worker_serve(args)
     if args.experiment == "profile":
         # Unknown / engine-less targets are rejected by profile_report, the
         # single owner of that validation (the CLI and library paths share it).

@@ -28,6 +28,11 @@ from repro.engine.hashing import (
 )
 from repro.engine.jobs import CircuitJob, JobResult
 from repro.engine.reduction import ReductionStats, ReductionTree, tree_merge_segments
+from repro.engine.transport import (
+    FaultInjectingExecutor,
+    ShardWorker,
+    SocketHostExecutor,
+)
 
 __all__ = [
     "CircuitJob",
@@ -40,6 +45,9 @@ __all__ = [
     "ProcessPoolShardExecutor",
     "HostShardExecutor",
     "LoopbackHostExecutor",
+    "SocketHostExecutor",
+    "FaultInjectingExecutor",
+    "ShardWorker",
     "resolve_shard_executor",
     "ReductionTree",
     "ReductionStats",

@@ -114,6 +114,31 @@ class _TranspileArtifact:
     num_swaps: int
 
 
+def _merge_numeric(into: dict, other: dict) -> dict:
+    """Deep-merge ``other`` into a copy of ``into``: numbers add, dicts recurse.
+
+    Used to fold per-batch transport provenance into lifetime totals —
+    chunk/retry/re-placement counts add across batches while identifying
+    values (executor name, host list, seed) are simply carried forward.
+    Booleans are identity, not addends.
+    """
+    merged = dict(into)
+    for key, value in other.items():
+        present = merged.get(key)
+        if isinstance(value, dict):
+            merged[key] = _merge_numeric(present if isinstance(present, dict) else {}, value)
+        elif (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and isinstance(present, (int, float))
+            and not isinstance(present, bool)
+        ):
+            merged[key] = present + value
+        else:
+            merged[key] = value
+    return merged
+
+
 @dataclass
 class EngineRunStats:
     """Aggregate accounting of one :meth:`ExecutionEngine.run` call."""
@@ -143,6 +168,14 @@ class EngineRunStats:
     #: Wall seconds inside pairwise shard merges (overlapped with sampling
     #: on streaming executors, so this can exceed its wall-clock share).
     merge_seconds: float = 0.0
+    #: Chunk results delivered after their index already merged (an
+    #: at-least-once transport retried or duplicated them) and dropped
+    #: before touching the tree or the obs counters.
+    duplicate_chunks_dropped: int = 0
+    #: Transport provenance from the shard executor's :meth:`provenance`
+    #: (per-host chunk counts, retries, re-placements, injected faults);
+    #: empty for purely local executors.
+    transport: dict = field(default_factory=dict)
     prepare_seconds: float = 0.0
     sample_seconds: float = 0.0
     wall_seconds: float = 0.0
@@ -181,6 +214,8 @@ class EngineRunStats:
             self.reduction_peak_live_segments, other.reduction_peak_live_segments
         )
         self.merge_seconds += other.merge_seconds
+        self.duplicate_chunks_dropped += other.duplicate_chunks_dropped
+        self.transport = _merge_numeric(self.transport, other.transport)
         self.prepare_seconds += other.prepare_seconds
         self.sample_seconds += other.sample_seconds
         self.wall_seconds += other.wall_seconds
@@ -209,6 +244,8 @@ class EngineRunStats:
             "reduction_tree_depth": self.reduction_tree_depth,
             "reduction_peak_live_segments": self.reduction_peak_live_segments,
             "merge_seconds": self.merge_seconds,
+            "duplicate_chunks_dropped": self.duplicate_chunks_dropped,
+            "transport": _merge_numeric({}, self.transport),
             "prepare_seconds": self.prepare_seconds,
             "sample_seconds": self.sample_seconds,
             "wall_seconds": self.wall_seconds,
@@ -881,10 +918,21 @@ class ExecutionEngine:
                 for item in executor.run(shard_fn, shard_tasks):
                     if observed:
                         item, payload = item
-                        absorb_payload(payload)
+                    else:
+                        payload = None
                     index, chunk, words, counts, elapsed = item
+                    tree = trees.get(index)
+                    if tree is None or tree.arrived(chunk):
+                        # Second delivery of a chunk an at-least-once
+                        # transport retried or duplicated: drop it — payload
+                        # included, so the work-unit counters stay exactly
+                        # equal to a fault-free run's.
+                        stats.duplicate_chunks_dropped += 1
+                        counter_add("engine.duplicate_chunks_dropped")
+                        continue
+                    if observed:
+                        absorb_payload(payload)
                     chunk_seconds[index] = chunk_seconds.get(index, 0.0) + elapsed
-                    tree = trees[index]
                     tree.add(chunk, words, counts)
                     if tree.complete:
                         noisy = tree.distribution()
@@ -907,6 +955,9 @@ class ExecutionEngine:
                         )
                         del trees[index]
             finally:
+                provenance = executor.provenance()
+                if provenance:
+                    stats.transport = _merge_numeric(stats.transport, provenance)
                 executor.close()
         record_phase_seconds("sample", time.perf_counter() - phase_start)
 

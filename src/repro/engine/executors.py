@@ -22,19 +22,25 @@ Implementations today:
 * :class:`ProcessPoolShardExecutor` — fans chunks out over a
   ``ProcessPoolExecutor`` and yields via ``as_completed``, so the first
   finished chunk starts merging while later chunks are still sampling.
-* :class:`HostShardExecutor` — the host-addressable interface stub for
-  multi-node execution: a subclass implements :meth:`run_on_host` (ship
-  one task to one named host, return its result) and inherits the
-  round-robin placement + result streaming.  :class:`LoopbackHostExecutor`
-  is the reference implementation — every "host" is this process — used to
-  pin the protocol down (and, deliberately, to yield results host-major,
-  i.e. *out* of submission order, so tests exercise the order-independence
-  the reduction tree guarantees).
+* :class:`HostShardExecutor` — the host-addressable base for multi-node
+  execution: a subclass implements :meth:`run_on_host` (ship one task to
+  one named host, return its result) and inherits the round-robin
+  placement + result streaming.  :class:`LoopbackHostExecutor` is the
+  in-process reference implementation — every "host" is this process —
+  used to pin the protocol down (and, deliberately, to yield results
+  host-major, i.e. *out* of submission order, so tests exercise the
+  order-independence the reduction tree guarantees).
+  :class:`~repro.engine.transport.SocketHostExecutor` is the real one:
+  chunks ship to ``repro shard-worker`` processes over TCP, with retries
+  and lost-chunk re-placement.
 
 Selection: the engine picks serial/process-pool automatically from its
 worker count; ``REPRO_SHARD_EXECUTOR`` (or the ``shard_executor``
 constructor argument) overrides with ``serial`` / ``process-pool`` /
-``loopback``.
+``loopback`` / ``socket`` (the latter reads its host list from
+``REPRO_SHARD_HOSTS``).  When ``REPRO_SHARD_FAULTS`` is set, any
+name-resolved executor is wrapped in a deterministic
+:class:`~repro.engine.transport.FaultInjectingExecutor`.
 """
 
 from __future__ import annotations
@@ -61,8 +67,13 @@ __all__ = [
 ENV_SHARD_EXECUTOR = "REPRO_SHARD_EXECUTOR"
 
 #: Names accepted by the engine's executor selection (``auto`` = pick from
-#: the worker count).
-SHARD_EXECUTOR_NAMES = ("auto", "serial", "process-pool", "loopback")
+#: the worker count; ``socket`` = multi-node over ``REPRO_SHARD_HOSTS``).
+SHARD_EXECUTOR_NAMES = ("auto", "serial", "process-pool", "loopback", "socket")
+
+#: Unique end-of-tasks marker: ``next(queue, _NO_MORE_TASKS)`` must never
+#: collide with a legitimate task value, so a ``None`` (or otherwise falsy)
+#: task cannot silently truncate a batch.
+_NO_MORE_TASKS = object()
 
 
 class ShardExecutor(ABC):
@@ -88,6 +99,16 @@ class ShardExecutor(ABC):
 
     def close(self) -> None:
         """Release any resources; the default executor owns none."""
+
+    def provenance(self) -> dict:
+        """Transport accounting for the last :meth:`run` (empty by default).
+
+        Executors that move chunks across real boundaries (sockets, fault
+        injection) report per-host chunk counts, retries and re-placements
+        here; the engine folds the dict into
+        ``report.meta["planner"]["transport"]``.
+        """
+        return {}
 
 
 class SerialShardExecutor(ShardExecutor):
@@ -123,29 +144,42 @@ class ProcessPoolShardExecutor(ShardExecutor):
             raise EngineError("ProcessPoolShardExecutor requires a process pool")
         self._pool = pool
         workers = getattr(pool, "_max_workers", None) or 1
-        self._max_in_flight = int(max_in_flight) if max_in_flight else 4 * workers
+        # ``is None`` — not truthiness — so an explicit 0 reaches the range
+        # check below and raises instead of silently becoming the default.
+        self._max_in_flight = 4 * workers if max_in_flight is None else int(max_in_flight)
         if self._max_in_flight < 1:
             raise EngineError(
                 f"max_in_flight must be >= 1, got {self._max_in_flight}"
             )
 
     def run(self, fn: Callable, tasks: Sequence) -> Iterator[Any]:
-        pending = set()
+        pending: set = set()
         queue = iter(tasks)
         exhausted = False
-        while True:
-            while not exhausted and len(pending) < self._max_in_flight:
-                task = next(queue, None)
-                if task is None:
-                    exhausted = True
-                    break
-                pending.add(self._pool.submit(fn, task))
-            gauge_max("executor.chunks_in_flight", len(pending))
-            if not pending:
-                return
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                yield future.result()
+        try:
+            while True:
+                while not exhausted and len(pending) < self._max_in_flight:
+                    task = next(queue, _NO_MORE_TASKS)
+                    if task is _NO_MORE_TASKS:
+                        exhausted = True
+                        break
+                    pending.add(self._pool.submit(fn, task))
+                gauge_max("executor.chunks_in_flight", len(pending))
+                if not pending:
+                    return
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    pending.discard(future)
+                    yield future.result()
+        finally:
+            # Reached with futures still pending when the consumer abandons
+            # the generator early or a chunk's result() raised: cancel what
+            # has not started, then drain what has (cancel() cannot stop a
+            # running task), so no work is stranded in the borrowed pool.
+            if pending:
+                for future in pending:
+                    future.cancel()
+                wait(pending)
 
 
 class HostShardExecutor(ShardExecutor):
@@ -186,13 +220,16 @@ class HostShardExecutor(ShardExecutor):
         # Host-major iteration: every host drains its own task list
         # independently, and this base implementation surfaces them host by
         # host — deliberately *not* submission order, the worst legal case
-        # a reduction consumer must tolerate.
+        # a reduction consumer must tolerate.  Tasks are bucketed by
+        # placement in one pass, not rescanned once per host.
         tasks = list(tasks)
         placement = self.placement(len(tasks))
+        by_host: dict[str, list] = {host: [] for host in self.hosts}
+        for task, host in zip(tasks, placement):
+            by_host[host].append(task)
         for host in self.hosts:
-            for index, task in enumerate(tasks):
-                if placement[index] == host:
-                    yield self.run_on_host(host, fn, task)
+            for task in by_host[host]:
+                yield self.run_on_host(host, fn, task)
 
 
 class LoopbackHostExecutor(HostShardExecutor):
@@ -222,20 +259,34 @@ def resolve_shard_executor(
 
     ``process-pool`` without a pool (``max_workers=1``) is a configuration
     error rather than a silent serial fallback — an explicit selection must
-    not quietly mean something else.
+    not quietly mean something else.  ``socket`` reads its host list (and
+    timeout/retry knobs) from the environment; see
+    :mod:`repro.engine.transport`.  When ``REPRO_SHARD_FAULTS`` is set the
+    resolved executor is wrapped in a deterministic fault injector (explicit
+    executor *instances* passed to the engine are never wrapped).
     """
     if name == "auto":
-        return ProcessPoolShardExecutor(pool) if pool is not None else SerialShardExecutor()
-    if name == "serial":
-        return SerialShardExecutor()
-    if name == "process-pool":
+        executor: ShardExecutor = (
+            ProcessPoolShardExecutor(pool) if pool is not None else SerialShardExecutor()
+        )
+    elif name == "serial":
+        executor = SerialShardExecutor()
+    elif name == "process-pool":
         if pool is None:
             raise EngineError(
                 "shard executor 'process-pool' requires max_workers > 1"
             )
-        return ProcessPoolShardExecutor(pool)
-    if name == "loopback":
-        return LoopbackHostExecutor()
-    raise EngineError(
-        f"unknown shard executor {name!r}; expected one of {SHARD_EXECUTOR_NAMES}"
-    )
+        executor = ProcessPoolShardExecutor(pool)
+    elif name == "loopback":
+        executor = LoopbackHostExecutor()
+    elif name == "socket":
+        from repro.engine.transport import socket_executor_from_env
+
+        executor = socket_executor_from_env()
+    else:
+        raise EngineError(
+            f"unknown shard executor {name!r}; expected one of {SHARD_EXECUTOR_NAMES}"
+        )
+    from repro.engine.transport import wrap_faults_from_env
+
+    return wrap_faults_from_env(executor)

@@ -168,6 +168,20 @@ class ReductionTree:
         """True once every leaf has arrived and folded into the root."""
         return self._result is not None
 
+    def arrived(self, index: int) -> bool:
+        """Whether leaf ``index`` has already been added.
+
+        Lets a consumer fed by an at-least-once transport (retries,
+        re-placement, injected duplicates) drop a late second delivery
+        instead of tripping :meth:`add`'s duplicate guard — the guard stays
+        the hard backstop; this is the polite check in front of it.
+        """
+        if not 0 <= index < self.num_leaves:
+            raise MergeError(
+                f"chunk index {index} outside [0, {self.num_leaves})"
+            )
+        return index in self._arrived
+
     def add(self, index: int, words: np.ndarray, counts: np.ndarray) -> None:
         """Insert one finished chunk and cascade merges as far as possible.
 

@@ -59,6 +59,23 @@ class MergeError(EngineError):
     """
 
 
+class TransportError(EngineError):
+    """Raised when the socket shard transport fails terminally.
+
+    Covers protocol violations (truncated/oversized frames), a remote task
+    raising on its worker (re-raised here — deterministic failures are not
+    retried), and exhausting every surviving host.
+    """
+
+
+class HostUnavailableError(TransportError):
+    """Raised when one shard host stays unreachable after bounded retries.
+
+    The socket executor catches this internally to re-place the lost chunk
+    on a surviving host; it only escapes when no host survives.
+    """
+
+
 class BackendError(ReproError):
     """Raised when a simulation backend cannot run a circuit.
 

@@ -236,8 +236,13 @@ def attach_engine_meta(report: ExperimentReport, engine, trace=None) -> Experime
                 "tree_depth": stats.reduction_tree_depth,
                 "peak_live_segments": stats.reduction_peak_live_segments,
                 "merge_seconds": stats.merge_seconds,
+                "duplicate_chunks_dropped": stats.duplicate_chunks_dropped,
             },
         }
+        if stats.transport:
+            # Socket / fault-injecting executors only: per-host chunk
+            # counts, retries, re-placements and injected-fault tallies.
+            report.meta["planner"]["transport"] = stats.transport
     observation = current_observation()
     if observation is not None:
         report.meta["obs"] = observation.meta()

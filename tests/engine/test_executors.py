@@ -8,6 +8,9 @@ executor, which deliberately yields results out of submission order.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 import pytest
 
@@ -16,11 +19,28 @@ from repro.core import costmodel
 from repro.engine import CircuitJob, ExecutionEngine
 from repro.engine.executors import (
     LoopbackHostExecutor,
+    ProcessPoolShardExecutor,
     SerialShardExecutor,
     resolve_shard_executor,
 )
 from repro.exceptions import EngineError
 from repro.quantum.device import get_device
+
+
+# Module-level so the process pool can pickle them by reference.
+def _echo(task):
+    return task
+
+
+def _raise_on_marker(task):
+    if task == "boom":
+        raise ValueError("marker task failed")
+    return task
+
+
+def _sleepy_echo(task):
+    time.sleep(0.05)
+    return task
 
 
 @pytest.fixture(scope="module")
@@ -90,6 +110,55 @@ class TestExecutorSelection:
             ExecutionEngine(max_workers=1, shard_executor="process-pool")
         with pytest.raises(EngineError, match="max_workers > 1"):
             resolve_shard_executor("process-pool", None)
+
+
+class TestProcessPoolBookkeeping:
+    """The in-flight bookkeeping fixes: sentinel, validation, and draining."""
+
+    @pytest.fixture(scope="class")
+    def pool(self):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            yield pool
+
+    def test_none_and_falsy_tasks_do_not_truncate_batch(self, pool):
+        # ``next(queue, None)`` + ``is None`` used to end the batch at the
+        # first None task; falsy tasks probe the same class of bug.
+        tasks = [None, 1, None, 0, "", 2, None]
+        executor = ProcessPoolShardExecutor(pool, max_in_flight=2)
+        results = list(executor.run(_echo, tasks))
+        assert sorted(results, key=repr) == sorted(tasks, key=repr)
+
+    def test_max_in_flight_zero_raises(self, pool):
+        # An explicit 0 used to fall through the truthiness check to the
+        # 4 x workers default; the documented contract is ``>= 1`` or error.
+        with pytest.raises(EngineError, match="max_in_flight must be >= 1"):
+            ProcessPoolShardExecutor(pool, max_in_flight=0)
+        with pytest.raises(EngineError, match="max_in_flight must be >= 1"):
+            ProcessPoolShardExecutor(pool, max_in_flight=-3)
+
+    def test_max_in_flight_one_processes_every_task(self, pool):
+        executor = ProcessPoolShardExecutor(pool, max_in_flight=1)
+        assert sorted(executor.run(_echo, list(range(7)))) == list(range(7))
+
+    def test_default_in_flight_window_from_pool_width(self, pool):
+        assert ProcessPoolShardExecutor(pool)._max_in_flight == 8
+        assert ProcessPoolShardExecutor(pool, max_in_flight=None)._max_in_flight == 8
+
+    def test_abandoned_generator_leaves_pool_usable(self, pool):
+        executor = ProcessPoolShardExecutor(pool, max_in_flight=4)
+        generator = executor.run(_sleepy_echo, list(range(12)))
+        assert next(generator) in range(12)
+        # Abandon with futures still pending: close() must cancel/drain them
+        # rather than strand work in the borrowed pool.
+        generator.close()
+        assert sorted(executor.run(_echo, list(range(5)))) == list(range(5))
+
+    def test_worker_exception_drains_pending(self, pool):
+        executor = ProcessPoolShardExecutor(pool, max_in_flight=4)
+        with pytest.raises(ValueError, match="marker task failed"):
+            list(executor.run(_raise_on_marker, ["boom"] + list(range(10))))
+        # The raise above left no stranded futures: the pool still serves.
+        assert sorted(executor.run(_echo, list(range(5)))) == list(range(5))
 
 
 class TestHostExecutorProtocol:

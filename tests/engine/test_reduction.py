@@ -130,6 +130,17 @@ class TestTreeMechanics:
         with pytest.raises(MergeError, match="twice"):
             tree.add(0, words, counts)
 
+    def test_arrived_tracks_deliveries(self):
+        # The polite pre-check an at-least-once transport uses to drop a
+        # late duplicate before tripping add()'s hard guard.
+        ((words, counts),) = _random_segments(np.random.default_rng(1), 1, 8)
+        tree = ReductionTree(2, 8)
+        assert not tree.arrived(0) and not tree.arrived(1)
+        tree.add(0, words, counts)
+        assert tree.arrived(0) and not tree.arrived(1)
+        with pytest.raises(MergeError, match="outside"):
+            tree.arrived(2)
+
     def test_zero_leaves_rejected(self):
         with pytest.raises(MergeError):
             ReductionTree(0, 4)

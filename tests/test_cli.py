@@ -296,6 +296,59 @@ class TestSubprocessJsonArtifact:
         assert payload["meta"]["engine"]["num_jobs"] == 1
 
 
+class TestShardWorkerSubcommand:
+    def test_requires_listen(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["shard-worker"])
+        assert "--listen" in capsys.readouterr().err
+
+    def test_flags_scoped_to_shard_worker(self, capsys):
+        for flags in (
+            ["--listen", "127.0.0.1:0"],
+            ["--max-requests", "3"],
+            ["--delay", "0.1"],
+        ):
+            with pytest.raises(SystemExit):
+                main(["fig1a"] + flags)
+            assert "shard-worker" in capsys.readouterr().err
+
+    def test_rejects_bad_listen_address(self):
+        with pytest.raises(Exception, match="HOST:PORT"):
+            main(["shard-worker", "--listen", "no-port"])
+
+    def test_list_mentions_shard_worker(self, capsys):
+        assert main(["list"]) == 0
+        assert "shard-worker" in capsys.readouterr().out
+
+    def test_subprocess_worker_serves_an_engine(self):
+        """The real multi-node path: a `repro.cli shard-worker` subprocess
+        serving chunks to a socket executor in this process."""
+        from repro.engine.transport import SocketHostExecutor
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "shard-worker", "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "shard-worker listening on " in banner
+            address = banner.strip().rsplit(" ", 1)[-1]
+            executor = SocketHostExecutor([address], timeout=30.0)
+            try:
+                assert executor.ping(address) == process.pid
+                assert sorted(executor.run(abs, [-3, -1, -2])) == [1, 2, 3]
+            finally:
+                executor.close()
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+
+
 class TestCalibrationSubcommands:
     def test_devices_table(self, capsys):
         assert main(["devices"]) == 0
