@@ -20,6 +20,8 @@ Usage::
     python -m repro.cli tune --quick              # calibrate the cost model
     python -m repro.cli fig8 --profile machine_profile.json
     python -m repro.cli shard-worker --listen 127.0.0.1:7641   # serve shard chunks
+    python -m repro.cli shard-broker --listen 127.0.0.1:7640   # lease-broker service
+    python -m repro.cli shard-worker --broker 127.0.0.1:7640   # pull worker
 
 Every experiment runs its sweep through one shared
 :class:`~repro.engine.engine.ExecutionEngine`: ``--jobs`` fans the batch out
@@ -41,14 +43,20 @@ with ``meta["obs"]`` metrics.  ``profile --metrics`` runs the phase
 profiler with the metrics registry active and appends the counter / gauge
 / histogram table.
 
-``shard-worker`` turns this process into a multi-node shard host: it
-listens on ``--listen HOST:PORT`` and serves chunk tasks to engines whose
-``REPRO_SHARD_EXECUTOR=socket`` / ``REPRO_SHARD_HOSTS`` point at it (see
-:mod:`repro.engine.transport`; README "Scale-out & reduction trees" has the
-quickstart).  ``--max-requests`` and ``--delay`` make failure scenarios
-reproducible: a worker that dies after N chunks, or one that is
-deterministically slow.  The protocol is pickle over TCP — only run
-workers on networks where every peer is trusted.
+``shard-worker`` turns this process into a multi-node shard host.  With
+``--listen HOST:PORT`` it serves chunk tasks to engines whose
+``REPRO_SHARD_EXECUTOR=socket`` / ``REPRO_SHARD_HOSTS`` point at it; with
+``--broker HOST:PORT`` it instead registers with a ``shard-broker`` and
+*pulls* chunks under heartbeat-renewed leases (see
+:mod:`repro.engine.broker`; README "Scale-out & reduction trees" has both
+quickstarts).  ``--max-requests`` and ``--delay`` make failure scenarios
+reproducible: a worker that dies after N chunks (for ``--broker``, dies
+abruptly *holding* its next lease), or one that is deterministically slow.
+``shard-broker`` runs the lease broker itself.  Both install
+SIGTERM/SIGINT handlers that finish the in-flight chunk and exit 0.  The
+protocol is pickle over TCP: set ``REPRO_SHARD_KEY`` on every peer so
+frames are HMAC-authenticated before unpickling, and even then only run
+workers on networks where every keyed peer is trusted.
 
 ``tune`` runs the one-time cost-model microbenchmarks
 (:mod:`repro.engine.autotune`) and persists the fitted
@@ -115,6 +123,7 @@ __all__ = [
     "scenarios_report",
     "backends_report",
     "shard_worker_serve",
+    "shard_broker_serve",
     "EXPERIMENTS",
     "SUBCOMMANDS",
     "PROFILE_UNSUPPORTED_EXPERIMENTS",
@@ -324,12 +333,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace only: where to write the Chrome trace-event JSON "
                              "(default trace.json)")
     parser.add_argument("--listen", type=str, default=None, metavar="HOST:PORT",
-                        help="shard-worker only: address to serve chunk tasks on "
+                        help="shard-worker / shard-broker: address to serve on "
                              "(port 0 binds an ephemeral port, printed on startup)")
+    parser.add_argument("--broker", type=str, default=None, metavar="HOST:PORT",
+                        help="shard-worker only: register with this shard-broker and "
+                             "pull chunks under heartbeat-renewed leases instead of "
+                             "listening for a socket executor")
     parser.add_argument("--max-requests", type=_positive_int, default=None, metavar="N",
                         dest="max_requests",
                         help="shard-worker only: exit after serving N chunk requests "
-                             "(deterministic mid-run host failure, for testing)")
+                             "(with --broker: die abruptly holding the next lease — "
+                             "deterministic mid-run worker failure, for testing)")
     parser.add_argument("--delay", type=float, default=0.0, metavar="SECONDS",
                         help="shard-worker only: sleep before answering each chunk "
                              "request (deterministic slow host, for testing)")
@@ -583,15 +597,47 @@ def tune_report(args: argparse.Namespace) -> ExperimentReport:
     return report
 
 
+def _install_signal_handlers(callback) -> bool:
+    """Route SIGTERM/SIGINT to ``callback`` (graceful shutdown); False if not
+    in the main thread (signal handlers can only be installed there)."""
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return False
+
+    def handler(signum, frame):
+        callback()
+
+    signal.signal(signal.SIGTERM, handler)
+    signal.signal(signal.SIGINT, handler)
+    return True
+
+
 def shard_worker_serve(args: argparse.Namespace) -> int:
     """Serve shard chunk tasks until interrupted (``shard-worker`` subcommand).
 
-    Prints ``shard-worker listening on HOST:PORT`` (the *bound* address, so
-    ``--listen 127.0.0.1:0`` reports the ephemeral port a client should put
-    in ``REPRO_SHARD_HOSTS``) and blocks in the accept loop.  Exits 0 when
-    stopped — by Ctrl-C, a client ``shutdown`` request, or an exhausted
-    ``--max-requests`` budget.
+    ``--listen`` mode prints ``shard-worker listening on HOST:PORT`` (the
+    *bound* address, so ``--listen 127.0.0.1:0`` reports the ephemeral port
+    a client should put in ``REPRO_SHARD_HOSTS``) and blocks in the accept
+    loop.  ``--broker`` mode registers with a shard-broker and pulls chunks
+    under heartbeat-renewed leases.  Both exit 0 on SIGTERM/SIGINT after
+    finishing the in-flight chunk.
     """
+    if getattr(args, "broker", None) is not None:
+        from repro.engine.broker import BrokerWorker
+
+        worker = BrokerWorker(
+            args.broker,
+            max_chunks=getattr(args, "max_requests", None),
+            delay=getattr(args, "delay", 0.0) or 0.0,
+        )
+        _install_signal_handlers(worker.request_stop)
+        print(f"shard-worker pulling from broker {args.broker}", flush=True)
+        worker.run_forever()
+        print(f"shard-worker stopped after {worker.chunks_done} chunks", flush=True)
+        return 0
+
     from repro.engine.transport import ShardWorker, parse_hostport
 
     host, port = parse_hostport(args.listen)
@@ -601,14 +647,48 @@ def shard_worker_serve(args: argparse.Namespace) -> int:
         max_requests=getattr(args, "max_requests", None),
         delay=getattr(args, "delay", 0.0) or 0.0,
     )
+    # The handler drains in place: stop accepting, finish the in-flight
+    # chunk, sever.  serve_forever then falls out of its accept loop.
+    _install_signal_handlers(worker.drain)
     print(f"shard-worker listening on {worker.address}", flush=True)
     try:
         worker.serve_forever()
     except KeyboardInterrupt:
-        pass
+        worker.drain()
     finally:
         worker.stop()
     print(f"shard-worker stopped after {worker.requests_served} requests", flush=True)
+    return 0
+
+
+def shard_broker_serve(args: argparse.Namespace) -> int:
+    """Run the shard lease broker (``shard-broker`` subcommand).
+
+    Prints ``shard-broker listening on HOST:PORT`` (the bound address) and
+    blocks.  Workers join with ``shard-worker --broker``; engines submit
+    with ``REPRO_SHARD_EXECUTOR=broker`` / ``REPRO_SHARD_BROKER``.  Exits 0
+    on SIGTERM/SIGINT after letting active batches finish.
+    """
+    from repro.engine.broker import ShardBroker
+    from repro.engine.transport import parse_hostport
+
+    host, port = parse_hostport(args.listen)
+    broker = ShardBroker(host=host, port=port)
+    _install_signal_handlers(broker.drain)
+    print(f"shard-broker listening on {broker.address}", flush=True)
+    try:
+        broker.serve_forever()
+    except KeyboardInterrupt:
+        broker.drain()
+    finally:
+        broker.stop()
+    stats = broker.stats()
+    print(
+        f"shard-broker stopped after {stats['batches']} batches, "
+        f"{stats['chunks_completed']} chunks "
+        f"({stats['leases_reissued']} leases re-issued)",
+        flush=True,
+    )
     return 0
 
 
@@ -648,13 +728,24 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--metrics only applies to the 'profile' subcommand")
     if args.trace_out is not None and args.experiment != "trace":
         parser.error("--trace-out only applies to the 'trace' subcommand")
-    if args.experiment == "shard-worker" and args.listen is None:
+    if args.experiment == "shard-worker" and (args.listen is None) == (args.broker is None):
         parser.error(
-            "shard-worker requires --listen HOST:PORT (port 0 binds an ephemeral port)"
+            "shard-worker requires exactly one of --listen HOST:PORT (serve a "
+            "socket executor; port 0 binds an ephemeral port) or "
+            "--broker HOST:PORT (pull chunks from a shard-broker)"
         )
-    if args.experiment != "shard-worker":
+    if args.experiment == "shard-broker" and args.listen is None:
+        parser.error(
+            "shard-broker requires --listen HOST:PORT (port 0 binds an ephemeral port)"
+        )
+    if args.experiment not in ("shard-worker", "shard-broker"):
         if args.listen is not None:
-            parser.error("--listen only applies to the 'shard-worker' subcommand")
+            parser.error(
+                "--listen only applies to the 'shard-worker' and 'shard-broker' subcommands"
+            )
+    if args.experiment != "shard-worker":
+        if args.broker is not None:
+            parser.error("--broker only applies to the 'shard-worker' subcommand")
         if args.max_requests is not None:
             parser.error("--max-requests only applies to the 'shard-worker' subcommand")
         if args.delay:
@@ -693,10 +784,18 @@ def main(argv: list[str] | None = None) -> int:
                 "description": "Serve shard chunk tasks to socket-executor engines (multi-node)",
             }
         )
+        rows.append(
+            {
+                "id": "shard-broker --listen HOST:PORT",
+                "description": "Lease broker: shard-worker --broker peers pull chunks from it",
+            }
+        )
         print(format_table(rows))
         return 0
     if args.experiment == "shard-worker":
         return shard_worker_serve(args)
+    if args.experiment == "shard-broker":
+        return shard_broker_serve(args)
     if args.experiment == "profile":
         # Unknown / engine-less targets are rejected by profile_report, the
         # single owner of that validation (the CLI and library paths share it).

@@ -8,6 +8,7 @@ per-job RNG streams that make row-level results bit-identical regardless of
 worker count.
 """
 
+from repro.engine.broker import BrokerExecutor, BrokerWorker, ShardBroker
 from repro.engine.cache import ExecutionCache
 from repro.engine.engine import EngineRunStats, ExecutionEngine
 from repro.engine.executors import (
@@ -48,6 +49,9 @@ __all__ = [
     "SocketHostExecutor",
     "FaultInjectingExecutor",
     "ShardWorker",
+    "ShardBroker",
+    "BrokerWorker",
+    "BrokerExecutor",
     "resolve_shard_executor",
     "ReductionTree",
     "ReductionStats",

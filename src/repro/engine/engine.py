@@ -561,7 +561,9 @@ class ExecutionEngine:
                 pool is None
                 and self.max_workers > 1
                 and num_tasks > 1
-                and name in ("auto", "process-pool")
+                # "broker" takes the pool too: it is the substrate of the
+                # no-worker graceful-degradation fallback.
+                and name in ("auto", "process-pool", "broker")
             ):
                 pool = self._get_pool()
             executor = resolve_shard_executor(name, pool)

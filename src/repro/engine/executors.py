@@ -37,8 +37,9 @@ Implementations today:
 Selection: the engine picks serial/process-pool automatically from its
 worker count; ``REPRO_SHARD_EXECUTOR`` (or the ``shard_executor``
 constructor argument) overrides with ``serial`` / ``process-pool`` /
-``loopback`` / ``socket`` (the latter reads its host list from
-``REPRO_SHARD_HOSTS``).  When ``REPRO_SHARD_FAULTS`` is set, any
+``loopback`` / ``socket`` (reads its host list from
+``REPRO_SHARD_HOSTS``) / ``broker`` (pull workers with leases via
+:mod:`repro.engine.broker`).  When ``REPRO_SHARD_FAULTS`` is set, any
 name-resolved executor is wrapped in a deterministic
 :class:`~repro.engine.transport.FaultInjectingExecutor`.
 """
@@ -67,8 +68,9 @@ __all__ = [
 ENV_SHARD_EXECUTOR = "REPRO_SHARD_EXECUTOR"
 
 #: Names accepted by the engine's executor selection (``auto`` = pick from
-#: the worker count; ``socket`` = multi-node over ``REPRO_SHARD_HOSTS``).
-SHARD_EXECUTOR_NAMES = ("auto", "serial", "process-pool", "loopback", "socket")
+#: the worker count; ``socket`` = multi-node over ``REPRO_SHARD_HOSTS``;
+#: ``broker`` = pull workers via a ``REPRO_SHARD_BROKER`` lease broker).
+SHARD_EXECUTOR_NAMES = ("auto", "serial", "process-pool", "loopback", "socket", "broker")
 
 #: Unique end-of-tasks marker: ``next(queue, _NO_MORE_TASKS)`` must never
 #: collide with a legitimate task value, so a ``None`` (or otherwise falsy)
@@ -283,6 +285,12 @@ def resolve_shard_executor(
         from repro.engine.transport import socket_executor_from_env
 
         executor = socket_executor_from_env()
+    elif name == "broker":
+        from repro.engine.broker import broker_executor_from_env
+
+        # The pool rides along as the no-worker fallback substrate, so
+        # graceful degradation lands on process-pool, not silent serial.
+        executor = broker_executor_from_env(pool)
     else:
         raise EngineError(
             f"unknown shard executor {name!r}; expected one of {SHARD_EXECUTOR_NAMES}"

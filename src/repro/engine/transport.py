@@ -9,9 +9,16 @@ reduction tree's fixed shape.  This module makes the hosts real:
     pickle of the payload.  Frames above :data:`MAX_MESSAGE_BYTES` (or a
     connection closing mid-frame) raise
     :class:`~repro.exceptions.TransportError` instead of feeding garbage to
-    the unpickler.  **Trust boundary:** pickle executes code on load, so
-    workers must only listen on networks where every peer is trusted —
-    authentication is deliberately out of scope here (see ROADMAP).
+    the unpickler.  When a ``key`` is given (``REPRO_SHARD_KEY``, resolved
+    by :func:`resolve_shard_key`), every frame additionally carries two
+    HMAC-SHA256 digests — one over the length header (verified before the
+    length is trusted), one over header + payload (verified before the
+    payload is unpickled) — and any mismatch raises
+    :class:`~repro.exceptions.AuthenticationError` **before** the
+    unpickler ever sees a byte.  **Trust boundary:** pickle executes code
+    on load, so HMAC framing authenticates *who sent* a frame but does not
+    make hostile payloads safe; leaving ``REPRO_SHARD_KEY`` unset is a
+    deliberate opt-out for localhost testing only.
 
 :class:`ShardWorker`
     The server side of ``repro shard-worker --listen HOST:PORT``: accepts
@@ -52,10 +59,15 @@ Environment wiring (consumed by
 ``REPRO_SHARD_FAULTS``
     Fault spec, e.g. ``drop=0.2,duplicate=0.1,seed=7`` — wraps whichever
     executor was resolved by name.
+``REPRO_SHARD_KEY``
+    Shared HMAC secret; when set (on *both* ends), every frame is
+    authenticated before unpickling.  Unset = localhost-testing opt-out.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import os
 import pickle
 import queue as _queue
@@ -69,7 +81,12 @@ from typing import Any
 import numpy as np
 
 from repro.engine.executors import HostShardExecutor, ShardExecutor
-from repro.exceptions import EngineError, HostUnavailableError, TransportError
+from repro.exceptions import (
+    AuthenticationError,
+    EngineError,
+    HostUnavailableError,
+    TransportError,
+)
 from repro.obs.logs import get_logger
 from repro.obs.metrics import counter_add
 
@@ -77,6 +94,8 @@ __all__ = [
     "MAX_MESSAGE_BYTES",
     "send_message",
     "recv_message",
+    "frame_bytes",
+    "resolve_shard_key",
     "parse_hostport",
     "ShardWorker",
     "SocketHostExecutor",
@@ -89,12 +108,18 @@ __all__ = [
     "ENV_SHARD_FAULTS",
     "ENV_SHARD_TIMEOUT",
     "ENV_SHARD_RETRIES",
+    "ENV_SHARD_KEY",
 ]
 
 ENV_SHARD_HOSTS = "REPRO_SHARD_HOSTS"
 ENV_SHARD_FAULTS = "REPRO_SHARD_FAULTS"
 ENV_SHARD_TIMEOUT = "REPRO_SHARD_TIMEOUT"
 ENV_SHARD_RETRIES = "REPRO_SHARD_RETRIES"
+ENV_SHARD_KEY = "REPRO_SHARD_KEY"
+
+#: Sentinel distinguishing "no key given, read the environment" from an
+#: explicit ``None`` (= run unauthenticated regardless of the environment).
+_KEY_FROM_ENV = object()
 
 #: Frame size ceiling: a corrupt or malicious length prefix must fail the
 #: connection, not attempt a multi-terabyte allocation.
@@ -108,14 +133,59 @@ _logger = get_logger("repro.engine.transport")
 # ---------------------------------------------------------------------------
 # Wire protocol
 # ---------------------------------------------------------------------------
-def send_message(sock: socket.socket, payload: Any) -> None:
-    """Write one length-prefixed pickle frame to ``sock``."""
+#: HMAC-SHA256 digest length; two per authenticated frame (header + payload).
+DIGEST_BYTES = hashlib.sha256().digest_size
+
+#: Domain separators so a header digest can never be replayed as a payload
+#: digest (and vice versa) under the same key.
+_HDR_DOMAIN = b"repro-shard-hdr"
+_MSG_DOMAIN = b"repro-shard-msg"
+
+
+def resolve_shard_key() -> bytes | None:
+    """The frame-authentication key from ``REPRO_SHARD_KEY``.
+
+    ``None`` (unset or blank) means frames travel unauthenticated — the
+    documented opt-out for localhost testing, where every peer is this
+    machine.  Any non-empty value is used verbatim (UTF-8) as the HMAC
+    secret; both ends must agree on it.
+    """
+    raw = os.environ.get(ENV_SHARD_KEY, "").strip()
+    return raw.encode("utf-8") if raw else None
+
+
+def _digest(key: bytes, domain: bytes, data: bytes) -> bytes:
+    return hmac.new(key, domain + data, hashlib.sha256).digest()
+
+
+def frame_bytes(payload: Any, key: bytes | None = None) -> bytes:
+    """Serialize one frame: length header, optional HMAC digests, pickle.
+
+    Unauthenticated frames are ``header | payload``.  With a key they are
+    ``header | HMAC(hdr) | payload | HMAC(header + payload)``: the header
+    digest lets the receiver verify the claimed length *before* allocating
+    or reading payload bytes based on it, and the payload digest is checked
+    before any unpickling.  Exposed for tests (bit-flip properties).
+    """
     data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     if len(data) > MAX_MESSAGE_BYTES:
         raise TransportError(
             f"message of {len(data)} bytes exceeds the {MAX_MESSAGE_BYTES}-byte frame limit"
         )
-    sock.sendall(_HEADER.pack(len(data)) + data)
+    header = _HEADER.pack(len(data))
+    if key is None:
+        return header + data
+    return (
+        header
+        + _digest(key, _HDR_DOMAIN, header)
+        + data
+        + _digest(key, _MSG_DOMAIN, header + data)
+    )
+
+
+def send_message(sock: socket.socket, payload: Any, key: bytes | None = None) -> None:
+    """Write one (optionally authenticated) frame to ``sock``."""
+    sock.sendall(frame_bytes(payload, key))
 
 
 def _recv_exact(sock: socket.socket, length: int) -> bytes:
@@ -130,15 +200,43 @@ def _recv_exact(sock: socket.socket, length: int) -> bytes:
     return bytes(buffer)
 
 
-def recv_message(sock: socket.socket) -> Any:
-    """Read one length-prefixed pickle frame from ``sock``."""
-    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+def recv_message(sock: socket.socket, key: bytes | None = None) -> Any:
+    """Read one frame from ``sock``; verify HMAC before unpickling when keyed.
+
+    With a key, *any* flipped bit in the frame — header, digest, or payload
+    — raises :class:`~repro.exceptions.AuthenticationError` and the payload
+    is never handed to the unpickler.  The header digest is checked first,
+    so a tampered length can neither trigger a giant allocation nor
+    desynchronize the stream read.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if key is not None:
+        hdr_digest = _recv_exact(sock, DIGEST_BYTES)
+        if not hmac.compare_digest(hdr_digest, _digest(key, _HDR_DOMAIN, header)):
+            counter_add("transport.auth_failures")
+            raise AuthenticationError(
+                "frame header failed HMAC verification — tampered frame, key "
+                "mismatch, or unauthenticated peer"
+            )
+    (length,) = _HEADER.unpack(header)
     if length > MAX_MESSAGE_BYTES:
         raise TransportError(
             f"incoming frame claims {length} bytes, above the "
             f"{MAX_MESSAGE_BYTES}-byte limit — corrupt or hostile peer"
         )
-    return pickle.loads(_recv_exact(sock, length))
+    data = _recv_exact(sock, length)
+    if key is not None:
+        msg_digest = _recv_exact(sock, DIGEST_BYTES)
+        if not hmac.compare_digest(msg_digest, _digest(key, _MSG_DOMAIN, header + data)):
+            counter_add("transport.auth_failures")
+            raise AuthenticationError(
+                "frame payload failed HMAC verification — tampered in transit "
+                "or keyed with a different REPRO_SHARD_KEY"
+            )
+    try:
+        return pickle.loads(data)
+    except Exception as error:  # an authenticated-or-trusted but corrupt pickle
+        raise TransportError(f"failed to unpickle frame payload: {error}") from error
 
 
 def parse_hostport(value: str) -> tuple[str, int]:
@@ -172,6 +270,12 @@ class ShardWorker:
     delay:
         Sleep this many seconds before executing each ``run`` request — a
         deterministic slow host.
+    auth_key:
+        HMAC secret for frame authentication; defaults to
+        ``REPRO_SHARD_KEY`` from the environment (``None`` when unset —
+        the localhost opt-out).  A client frame that fails verification is
+        logged, counted, and its connection dropped — the worker never
+        unpickles it.
     """
 
     def __init__(
@@ -180,6 +284,7 @@ class ShardWorker:
         port: int = 0,
         max_requests: int | None = None,
         delay: float = 0.0,
+        auth_key: "bytes | None" = _KEY_FROM_ENV,  # type: ignore[assignment]
     ) -> None:
         if max_requests is not None and max_requests < 1:
             raise EngineError(f"max_requests must be >= 1, got {max_requests}")
@@ -189,7 +294,9 @@ class ShardWorker:
         self.host, self.port = self._server.getsockname()[:2]
         self._max_requests = max_requests
         self._delay = float(delay)
+        self._auth_key = resolve_shard_key() if auth_key is _KEY_FROM_ENV else auth_key
         self._served = 0
+        self._active_runs = 0
         self._lock = threading.Lock()
         self._closed = threading.Event()
         self._connections: set[socket.socket] = set()
@@ -221,6 +328,27 @@ class ShardWorker:
                 break
             thread = threading.Thread(target=self._serve_connection, args=(conn,), daemon=True)
             thread.start()
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight work, stop.
+
+        This is the SIGTERM/SIGINT path of ``repro shard-worker``: the
+        listening socket closes immediately (so no new chunk arrives), any
+        ``run`` request already executing completes and its reply is sent,
+        then every connection is severed.  :meth:`stop` by contrast is the
+        simulated-crash path — it severs mid-flight.
+        """
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        deadline = time.monotonic() + max(0.0, timeout)
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._active_runs == 0:
+                    break
+            time.sleep(0.01)
+        self.stop()
 
     def stop(self) -> None:
         """Stop accepting and sever every open connection (idempotent).
@@ -260,14 +388,23 @@ class ShardWorker:
         try:
             while not self._closed.is_set():
                 try:
-                    message = recv_message(conn)
+                    message = recv_message(conn, self._auth_key)
+                except AuthenticationError as error:
+                    # Verified-before-unpickle: the hostile/tampered frame
+                    # never reached the unpickler.  Drop the peer.
+                    _logger.warning(
+                        "auth-failure",
+                        f"rejected unauthenticated frame: {error}",
+                        address=self.address,
+                    )
+                    return
                 except (TransportError, OSError):
                     return
                 op = message[0]
                 if op == "ping":
-                    send_message(conn, ("pong", os.getpid()))
+                    send_message(conn, ("pong", os.getpid()), self._auth_key)
                 elif op == "shutdown":
-                    send_message(conn, ("ok", None))
+                    send_message(conn, ("ok", None), self._auth_key)
                     self.stop()
                     return
                 elif op == "run":
@@ -279,14 +416,23 @@ class ShardWorker:
                     _, fn, task = message
                     if self._delay:
                         time.sleep(self._delay)
+                    with self._lock:
+                        self._active_runs += 1
                     try:
                         result = fn(task)
                     except Exception as error:  # noqa: BLE001 — shipped to the client
-                        send_message(conn, ("error", f"{type(error).__name__}: {error}"))
+                        send_message(
+                            conn,
+                            ("error", f"{type(error).__name__}: {error}"),
+                            self._auth_key,
+                        )
                     else:
-                        send_message(conn, ("result", result))
+                        send_message(conn, ("result", result), self._auth_key)
+                    finally:
+                        with self._lock:
+                            self._active_runs -= 1
                 else:
-                    send_message(conn, ("error", f"unknown op {op!r}"))
+                    send_message(conn, ("error", f"unknown op {op!r}"), self._auth_key)
         except (TransportError, OSError):
             return
         finally:
@@ -337,10 +483,12 @@ class SocketHostExecutor(HostShardExecutor):
         max_retries: int = 3,
         backoff: float = 0.05,
         backoff_cap: float = 2.0,
+        auth_key: "bytes | None" = _KEY_FROM_ENV,  # type: ignore[assignment]
     ) -> None:
         super().__init__(hosts)
         for host in self.hosts:
             parse_hostport(host)  # fail fast on malformed addresses
+        self._auth_key = resolve_shard_key() if auth_key is _KEY_FROM_ENV else auth_key
         if timeout <= 0:
             raise EngineError(f"timeout must be > 0, got {timeout}")
         if max_retries < 0:
@@ -399,6 +547,9 @@ class SocketHostExecutor(HostShardExecutor):
         retry budget is spent without a reply, and plain
         :class:`~repro.exceptions.TransportError` when the worker reports
         the task itself raised (deterministic — retrying cannot help).
+        :class:`~repro.exceptions.AuthenticationError` is equally
+        deterministic (a key mismatch never heals) and propagates without
+        retry or re-placement.
         """
         last_error: Exception | None = None
         for attempt in range(self.max_retries + 1):
@@ -409,8 +560,11 @@ class SocketHostExecutor(HostShardExecutor):
                 time.sleep(min(self.backoff * (2 ** (attempt - 1)), self.backoff_cap))
             try:
                 sock = self._connection(host)
-                send_message(sock, ("run", fn, task))
-                reply = recv_message(sock)
+                send_message(sock, ("run", fn, task), self._auth_key)
+                reply = recv_message(sock, self._auth_key)
+            except AuthenticationError:
+                self._drop_connection(host)
+                raise
             except (TransportError, OSError) as error:
                 self._drop_connection(host)
                 last_error = error
@@ -427,11 +581,20 @@ class SocketHostExecutor(HostShardExecutor):
         )
 
     def ping(self, host: str) -> int:
-        """Health-check one host; returns the worker's pid."""
-        sock = self._connection(host)
+        """Health-check one host; returns the worker's pid.
+
+        The connect itself lives inside the try: a refused/timed-out dial
+        is exactly "did not answer ping" and must surface as
+        :class:`~repro.exceptions.HostUnavailableError`, not a raw
+        ``OSError``.
+        """
         try:
-            send_message(sock, ("ping",))
-            reply = recv_message(sock)
+            sock = self._connection(host)
+            send_message(sock, ("ping",), self._auth_key)
+            reply = recv_message(sock, self._auth_key)
+        except AuthenticationError:
+            self._drop_connection(host)
+            raise
         except (TransportError, OSError) as error:
             self._drop_connection(host)
             raise HostUnavailableError(f"shard host {host} did not answer ping: {error}")
@@ -754,13 +917,23 @@ def _env_int(name: str, default: int) -> int:
 
 
 def socket_executor_from_env() -> SocketHostExecutor:
-    """Build a :class:`SocketHostExecutor` from ``REPRO_SHARD_HOSTS`` et al."""
+    """Build a :class:`SocketHostExecutor` from ``REPRO_SHARD_HOSTS`` et al.
+
+    Every entry is validated with :func:`parse_hostport` eagerly, so a
+    typo'd host list fails at startup naming the bad entry instead of
+    mid-run on first dial.
+    """
     raw = os.environ.get(ENV_SHARD_HOSTS, "")
     hosts = [host.strip() for host in raw.split(",") if host.strip()]
     if not hosts:
         raise EngineError(
             f"shard executor 'socket' requires {ENV_SHARD_HOSTS}=host:port[,host:port...]"
         )
+    for entry in hosts:
+        try:
+            parse_hostport(entry)
+        except EngineError as error:
+            raise EngineError(f"{ENV_SHARD_HOSTS} entry {entry!r} is invalid: {error}") from error
     return SocketHostExecutor(
         hosts,
         timeout=_env_float(ENV_SHARD_TIMEOUT, 30.0),

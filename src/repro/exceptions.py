@@ -76,6 +76,17 @@ class HostUnavailableError(TransportError):
     """
 
 
+class AuthenticationError(TransportError):
+    """Raised when a shard transport frame fails HMAC verification.
+
+    Every authenticated frame carries HMAC-SHA256 digests (keyed by
+    ``REPRO_SHARD_KEY``) over its length header and payload; a mismatch —
+    a tampered byte, a peer with a different key, or an unauthenticated
+    peer talking to a keyed endpoint — raises this *before* any attempt to
+    unpickle the payload.  Deterministic, so never retried.
+    """
+
+
 class BackendError(ReproError):
     """Raised when a simulation backend cannot run a circuit.
 

@@ -191,6 +191,15 @@ class TestSocketExecutor:
             executor.run_on_host(address, _double, 1)
         assert executor.provenance()["retries"] == 2
 
+    def test_ping_unreachable_host_raises_host_unavailable(self):
+        # Regression: the dial used to happen outside the try, so a refused
+        # connection escaped ping() as a raw OSError instead of the
+        # HostUnavailableError callers are told to expect.
+        address = _free_port_address()
+        executor = SocketHostExecutor([address], timeout=0.5, max_retries=0, backoff=0.01)
+        with pytest.raises(HostUnavailableError, match="did not answer ping"):
+            executor.ping(address)
+
     def test_task_exception_is_terminal_not_retried(self, worker):
         executor = SocketHostExecutor([worker.address], timeout=5.0, max_retries=3)
         try:
@@ -321,6 +330,55 @@ class TestFaultInjection:
 
 
 # ---------------------------------------------------------------------------
+# Authenticated frames end-to-end
+# ---------------------------------------------------------------------------
+class TestAuthenticatedTransport:
+    KEY = b"s3cret-shard-key"
+
+    def test_keyed_roundtrip(self):
+        worker = ShardWorker(auth_key=self.KEY).start()
+        try:
+            executor = SocketHostExecutor([worker.address], timeout=5.0, auth_key=self.KEY)
+            assert sorted(executor.run(_double, [1, 2, 3])) == [2, 4, 6]
+            assert executor.ping(worker.address) > 0
+            executor.close()
+        finally:
+            worker.stop()
+
+    def test_keyed_worker_rejects_unkeyed_client(self):
+        # The worker verifies the digest before unpickling and drops the
+        # connection; with no retries left the client sees the host as gone.
+        worker = ShardWorker(auth_key=self.KEY).start()
+        try:
+            executor = SocketHostExecutor(
+                [worker.address], timeout=1.0, max_retries=0, backoff=0.01, auth_key=None
+            )
+            with pytest.raises(HostUnavailableError):
+                executor.run_on_host(worker.address, _double, 1)
+            assert worker.requests_served == 0, "tampered frame must never execute"
+            executor.close()
+        finally:
+            worker.stop()
+
+    def test_key_mismatch_rejected(self):
+        worker = ShardWorker(auth_key=self.KEY).start()
+        try:
+            executor = SocketHostExecutor(
+                [worker.address],
+                timeout=1.0,
+                max_retries=0,
+                backoff=0.01,
+                auth_key=b"some-other-key",
+            )
+            with pytest.raises(HostUnavailableError):
+                executor.run_on_host(worker.address, _double, 1)
+            assert worker.requests_served == 0
+            executor.close()
+        finally:
+            worker.stop()
+
+
+# ---------------------------------------------------------------------------
 # Environment wiring
 # ---------------------------------------------------------------------------
 class TestEnvWiring:
@@ -343,6 +401,13 @@ class TestEnvWiring:
         monkeypatch.setenv(ENV_SHARD_HOSTS, "h:1")
         monkeypatch.setenv(ENV_SHARD_TIMEOUT, "soon")
         with pytest.raises(EngineError, match=ENV_SHARD_TIMEOUT):
+            resolve_shard_executor("socket", None)
+
+    def test_bad_host_entry_rejected_eagerly_by_name(self, monkeypatch):
+        # A typo'd entry must fail at startup naming the offending token,
+        # not mid-run when a chunk first routes to it.
+        monkeypatch.setenv(ENV_SHARD_HOSTS, "127.0.0.1:1, bogus")
+        with pytest.raises(EngineError, match="entry 'bogus' is invalid"):
             resolve_shard_executor("socket", None)
 
     def test_faults_env_wraps_any_named_executor(self, monkeypatch):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import subprocess
 import sys
 from pathlib import Path
@@ -347,6 +348,84 @@ class TestShardWorkerSubcommand:
         finally:
             process.terminate()
             process.wait(timeout=30)
+
+    def test_rejects_both_listen_and_broker(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["shard-worker", "--listen", "127.0.0.1:0", "--broker", "127.0.0.1:1"])
+        err = capsys.readouterr().err
+        assert "--listen" in err and "--broker" in err
+
+    def test_rejects_bad_broker_address(self):
+        with pytest.raises(Exception, match="HOST:PORT"):
+            main(["shard-worker", "--broker", "no-port"])
+
+
+class TestShardBrokerSubcommand:
+    def test_requires_listen(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["shard-broker"])
+        assert "--listen" in capsys.readouterr().err
+
+    def test_broker_flag_scoped_to_shard_worker(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig1a", "--broker", "127.0.0.1:1"])
+        assert "shard-worker" in capsys.readouterr().err
+
+    def test_list_mentions_shard_broker(self, capsys):
+        assert main(["list"]) == 0
+        assert "shard-broker" in capsys.readouterr().out
+
+    def test_subprocess_broker_pull_worker_and_sigterm(self):
+        """End-to-end pull path: a broker subprocess, a worker subprocess
+        pulling from it, chunks served to this process's executor, and a
+        clean exit-0 shutdown of both on SIGTERM."""
+        from repro.engine.broker import BrokerExecutor
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_SHARD_KEY"] = "cli-test-key"
+        env["REPRO_SHARD_HEARTBEAT"] = "0.2"
+        broker = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "shard-broker", "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        worker = None
+        try:
+            banner = broker.stdout.readline()
+            assert "shard-broker listening on " in banner
+            address = banner.strip().rsplit(" ", 1)[-1]
+            worker = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "shard-worker", "--broker", address],
+                stdout=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            assert "shard-worker pulling from broker " in worker.stdout.readline()
+            executor = BrokerExecutor(
+                broker=address,
+                join_deadline=30.0,
+                timeout=30.0,
+                auth_key=b"cli-test-key",
+            )
+            try:
+                assert sorted(executor.run(abs, [-3, -1, -2])) == [1, 2, 3]
+                provenance = executor.provenance()
+                assert provenance["workers_joined"] >= 1
+                assert provenance["chunks_completed"] == 3
+            finally:
+                executor.close()
+            worker.send_signal(signal.SIGTERM)
+            assert worker.wait(timeout=30) == 0
+            broker.send_signal(signal.SIGTERM)
+            assert broker.wait(timeout=30) == 0
+        finally:
+            for process in (worker, broker):
+                if process is not None and process.poll() is None:
+                    process.kill()
+                    process.wait(timeout=30)
 
 
 class TestCalibrationSubcommands:
